@@ -1,0 +1,343 @@
+//! Channel-capacity analysis: channel matrices, mutual information and
+//! Blahut–Arimoto capacity estimation.
+//!
+//! The evaluation methodology follows Cock et al. (2014) ("The Last
+//! Mile"), the paper's own reference for empirical channel measurement:
+//! build a matrix of input symbol × observed output, estimate the
+//! channel capacity, and call the channel *closed* when capacity is
+//! consistent with zero (below the finite-sample noise floor measured
+//! with a constant input).
+
+/// A contingency table of input symbols against observed outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelMatrix {
+    inputs: usize,
+    outputs: usize,
+    counts: Vec<u64>, // row-major [input][output]
+}
+
+impl ChannelMatrix {
+    /// An empty matrix over `inputs × outputs` symbol alphabets.
+    ///
+    /// # Panics
+    /// Panics if either alphabet is empty.
+    pub fn new(inputs: usize, outputs: usize) -> Self {
+        assert!(inputs > 0 && outputs > 0, "alphabets must be non-empty");
+        ChannelMatrix {
+            inputs,
+            outputs,
+            counts: vec![0; inputs * outputs],
+        }
+    }
+
+    /// Record one observation.
+    ///
+    /// # Panics
+    /// Panics on out-of-range symbols.
+    pub fn add(&mut self, input: usize, output: usize) {
+        assert!(input < self.inputs, "input {input} out of range");
+        assert!(output < self.outputs, "output {output} out of range");
+        self.counts[input * self.outputs + output] += 1;
+    }
+
+    /// Number of input symbols.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output symbols.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count for `(input, output)`.
+    pub fn count(&self, input: usize, output: usize) -> u64 {
+        self.counts[input * self.outputs + output]
+    }
+
+    /// Row-conditional distribution `P(output | input)` for the inputs
+    /// that were actually sampled. Unsampled inputs are excluded: the
+    /// attacker cannot use symbols it never measured, and treating them
+    /// as uniform would fabricate capacity out of missing data.
+    fn conditional(&self) -> Vec<Vec<f64>> {
+        (0..self.inputs)
+            .filter_map(|i| {
+                let row = &self.counts[i * self.outputs..(i + 1) * self.outputs];
+                let total: u64 = row.iter().sum();
+                if total == 0 {
+                    None
+                } else {
+                    Some(row.iter().map(|c| *c as f64 / total as f64).collect())
+                }
+            })
+            .collect()
+    }
+
+    /// Empirical mutual information I(input; output) in bits, using the
+    /// empirical input distribution.
+    pub fn mutual_information(&self) -> f64 {
+        let n = self.samples();
+        if n == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let mut p_in = vec![0.0; self.inputs];
+        let mut p_out = vec![0.0; self.outputs];
+        for i in 0..self.inputs {
+            for o in 0..self.outputs {
+                let c = self.count(i, o) as f64 / nf;
+                p_in[i] += c;
+                p_out[o] += c;
+            }
+        }
+        let mut mi = 0.0;
+        for i in 0..self.inputs {
+            for o in 0..self.outputs {
+                let p = self.count(i, o) as f64 / nf;
+                if p > 0.0 {
+                    mi += p * (p / (p_in[i] * p_out[o])).log2();
+                }
+            }
+        }
+        mi.max(0.0)
+    }
+
+    /// Channel capacity in bits per observation, via Blahut–Arimoto
+    /// iteration over the empirical conditional distribution (sampled
+    /// inputs only).
+    pub fn capacity(&self, iterations: usize) -> f64 {
+        let w = self.conditional();
+        let rows = w.len();
+        if rows == 0 {
+            return 0.0;
+        }
+        let mut p = vec![1.0 / rows as f64; rows];
+        let mut cap = 0.0;
+        for _ in 0..iterations.max(1) {
+            // q[o] = sum_i p[i] w[i][o]
+            let mut q = vec![0.0f64; self.outputs];
+            for i in 0..rows {
+                for o in 0..self.outputs {
+                    q[o] += p[i] * w[i][o];
+                }
+            }
+            // D_i = sum_o w[i][o] log2(w[i][o]/q[o])
+            let mut d = vec![0.0f64; rows];
+            for i in 0..rows {
+                for o in 0..self.outputs {
+                    if w[i][o] > 0.0 && q[o] > 0.0 {
+                        d[i] += w[i][o] * (w[i][o] / q[o]).log2();
+                    }
+                }
+            }
+            // Update p ∝ p * 2^D; capacity bounds converge.
+            let mut z = 0.0;
+            let mut next: Vec<f64> = (0..rows)
+                .map(|i| {
+                    let v = p[i] * d[i].exp2();
+                    z += v;
+                    v
+                })
+                .collect();
+            if z <= 0.0 {
+                return 0.0;
+            }
+            for v in &mut next {
+                *v /= z;
+            }
+            p = next;
+            cap = z.log2();
+        }
+        cap.max(0.0)
+    }
+
+    /// Fraction of samples where `output == input` (for matched
+    /// alphabets: the attacker's raw decode accuracy).
+    pub fn correct_rate(&self) -> f64 {
+        let n = self.samples();
+        if n == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.inputs.min(self.outputs))
+            .map(|i| self.count(i, i))
+            .sum();
+        correct as f64 / n as f64
+    }
+}
+
+/// A channel's bandwidth once capacity per observation and the cost of
+/// an observation are known — the unit the literature reports (e.g.
+/// Cock et al. give bits/s for seL4 channels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelRate {
+    /// Capacity per observation, in bits.
+    pub bits_per_observation: f64,
+    /// Observations the attacker completes per second.
+    pub observations_per_sec: f64,
+    /// The headline number: bits per second.
+    pub bits_per_sec: f64,
+}
+
+/// Convert a per-observation capacity into a bandwidth, given the
+/// modelled cycles one observation costs and an assumed clock frequency.
+///
+/// # Panics
+/// Panics if `cycles_per_observation == 0` or `clock_hz <= 0`.
+pub fn channel_rate(
+    bits_per_observation: f64,
+    cycles_per_observation: u64,
+    clock_hz: f64,
+) -> ChannelRate {
+    assert!(cycles_per_observation > 0, "observation must cost time");
+    assert!(clock_hz > 0.0, "clock must tick");
+    let obs_per_sec = clock_hz / cycles_per_observation as f64;
+    ChannelRate {
+        bits_per_observation,
+        observations_per_sec: obs_per_sec,
+        bits_per_sec: bits_per_observation * obs_per_sec,
+    }
+}
+
+/// Quantise a raw latency observation into `bins` equal-width bins over
+/// `[lo, hi)`; out-of-range values clamp to the end bins. Use when the
+/// output alphabet is a latency rather than a decoded symbol.
+pub fn quantise(value: u64, lo: u64, hi: u64, bins: usize) -> usize {
+    assert!(bins > 0 && hi > lo, "bad quantiser");
+    if value < lo {
+        return 0;
+    }
+    if value >= hi {
+        return bins - 1;
+    }
+    let w = (hi - lo) as f64 / bins as f64;
+    (((value - lo) as f64 / w) as usize).min(bins - 1)
+}
+
+/// The index of the maximum element — the canonical prime-and-probe
+/// decoder ("which set was slow?"). Ties resolve to the lowest index,
+/// deterministically.
+pub fn argmax(values: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate() {
+        if *v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_channel_has_full_capacity() {
+        let mut m = ChannelMatrix::new(4, 4);
+        for i in 0..4 {
+            for _ in 0..25 {
+                m.add(i, i);
+            }
+        }
+        assert!((m.mutual_information() - 2.0).abs() < 1e-9);
+        assert!((m.capacity(64) - 2.0).abs() < 1e-6);
+        assert!((m.correct_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_output_has_zero_capacity() {
+        let mut m = ChannelMatrix::new(4, 4);
+        for i in 0..4 {
+            for _ in 0..25 {
+                m.add(i, 0); // everything decodes to 0: channel closed
+            }
+        }
+        assert!(m.mutual_information() < 1e-12);
+        assert!(m.capacity(64) < 1e-6);
+        assert!((m.correct_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_channel_is_between() {
+        // Binary symmetric channel with 10% crossover:
+        // capacity = 1 - H(0.1) ≈ 0.531 bits.
+        let mut m = ChannelMatrix::new(2, 2);
+        for i in 0..2usize {
+            for k in 0..100 {
+                m.add(i, if k < 90 { i } else { 1 - i });
+            }
+        }
+        let cap = m.capacity(200);
+        assert!(
+            (cap - 0.531).abs() < 0.01,
+            "BSC(0.1) capacity ≈ 0.531, got {cap}"
+        );
+        let mi = m.mutual_information();
+        assert!(mi > 0.4 && mi <= cap + 1e-9);
+    }
+
+    #[test]
+    fn permuted_outputs_still_carry_information() {
+        // Decoding to the *wrong* symbol consistently is still a perfect
+        // channel; capacity sees through the permutation.
+        let mut m = ChannelMatrix::new(4, 4);
+        for i in 0..4 {
+            for _ in 0..10 {
+                m.add(i, (i + 1) % 4);
+            }
+        }
+        assert!((m.capacity(64) - 2.0).abs() < 1e-6);
+        assert_eq!(m.correct_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_silent() {
+        let m = ChannelMatrix::new(3, 5);
+        assert_eq!(m.samples(), 0);
+        assert_eq!(m.mutual_information(), 0.0);
+        assert_eq!(m.capacity(10), 0.0);
+    }
+
+    #[test]
+    fn channel_rate_arithmetic() {
+        // 6 bits per observation, 100k cycles per observation, 1 GHz.
+        let r = channel_rate(6.0, 100_000, 1e9);
+        assert!((r.observations_per_sec - 10_000.0).abs() < 1e-6);
+        assert!((r.bits_per_sec - 60_000.0).abs() < 1e-3);
+        // A closed channel has zero bandwidth no matter the rate.
+        assert_eq!(channel_rate(0.0, 100, 1e9).bits_per_sec, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation must cost time")]
+    fn channel_rate_rejects_zero_cycles() {
+        channel_rate(1.0, 0, 1e9);
+    }
+
+    #[test]
+    fn quantiser_bins_correctly() {
+        assert_eq!(quantise(0, 10, 20, 5), 0, "below range clamps low");
+        assert_eq!(quantise(10, 10, 20, 5), 0);
+        assert_eq!(quantise(13, 10, 20, 5), 1);
+        assert_eq!(quantise(19, 10, 20, 5), 4);
+        assert_eq!(quantise(500, 10, 20, 5), 4, "above range clamps high");
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[1, 3, 3, 2]), 1);
+        assert_eq!(argmax(&[7]), 0);
+        assert_eq!(argmax(&[2, 2, 2]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        let mut m = ChannelMatrix::new(2, 2);
+        m.add(2, 0);
+    }
+}

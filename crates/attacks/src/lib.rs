@@ -1,0 +1,43 @@
+//! # tp-attacks — timing-channel attacks and capacity analysis
+//!
+//! The adversarial half of the reproduction of *"Can We Prove Time
+//! Protection?"* (HotOS 2019): executable implementations of every
+//! channel the paper discusses, plus the channel-capacity analysis used
+//! to judge whether a defence *closed* it.
+//!
+//! * [`programs`] — attack programs as deterministic instruction traces:
+//!   prime-and-probe spy/trojan (§3.1, Percival / Osvik et al.), a
+//!   kernel-text probe (Flush+Reload analogue, §4.2), the interrupt
+//!   trojan (§4.2), and the square-and-multiply downgrader of Figure 1
+//!   (§3.2, §4.3).
+//! * [`channel`] — channel matrices, mutual information and
+//!   Blahut–Arimoto capacity (methodology of Cock et al. 2014).
+//! * [`concurrent`] — a bare-metal multicore runner for the channels the
+//!   single-core kernel cannot express (shared LLC, interconnect).
+//! * [`experiments`] — the E1–E10 runners the benchmark harness and the
+//!   examples print their tables from.
+//!
+//! ## Example: the L1 covert channel, open and closed
+//!
+//! ```no_run
+//! use tp_attacks::experiments::e2_l1_prime_probe;
+//! use tp_hw::clock::TimeModel;
+//! use tp_kernel::config::TimeProtConfig;
+//!
+//! let symbols = [3usize, 17, 40];
+//! let open = e2_l1_prime_probe(TimeProtConfig::off(), &symbols, TimeModel::intel_like());
+//! let shut = e2_l1_prime_probe(TimeProtConfig::full(), &symbols, TimeModel::intel_like());
+//! assert!(open.mutual_information() > 0.0);
+//! assert_eq!(shut.mutual_information(), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod concurrent;
+pub mod experiments;
+pub mod programs;
+
+pub use channel::{argmax, quantise, ChannelMatrix};
+pub use concurrent::{BareRunner, BareThread};

@@ -1,0 +1,404 @@
+//! Attack-program generators and observation parsers.
+//!
+//! All attacks are expressed as deterministic instruction traces
+//! ([`TraceProgram`]) plus parsers over the victim's/spy's observation
+//! log. The spy's only sensor is the cycle counter ([`Instr::ReadClock`])
+//! — the paper's §3.1 "timing own progress" observer — or, for remote
+//! attacks, the arrival time of IPC messages (§3.2).
+
+use tp_hw::types::{Cycles, VAddr, PAGE_SIZE};
+use tp_kernel::layout::data_addr;
+use tp_kernel::program::{Instr, SyscallReq, TraceProgram};
+
+/// Number of L1 sets covered by one page (64 lines of 64 bytes).
+pub const L1_SETS: usize = 64;
+
+/// The spy's probe order: a fixed pseudo-random permutation of the L1
+/// sets. Probing in address order would train the stride prefetcher,
+/// which then hides evictions by fetching ahead of the probe — real
+/// prime-and-probe implementations defeat the prefetcher the same way
+/// (randomised/pointer-chased probe order).
+pub fn probe_order() -> Vec<usize> {
+    let mut order: Vec<usize> = (0..L1_SETS).collect();
+    // Deterministic Fisher–Yates driven by the mix64 sequence.
+    for i in (1..L1_SETS).rev() {
+        let j = (tp_hw::types::mix64(0x5e_ed + i as u64) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Generate the prime-and-probe spy (§3.1): sweeps its first data page,
+/// timing each line, in [`probe_order`]. One page covers each L1 set
+/// exactly once, so probe latencies index L1 sets directly. Each sweep
+/// doubles as the next prime (the probe loads re-install the lines), the
+/// classic repeated prime+probe loop of Percival (2005) / Osvik et al.
+/// (2006).
+pub fn pp_spy(sweeps: usize) -> TraceProgram {
+    let order = probe_order();
+    let mut v = Vec::new();
+    for _ in 0..sweeps {
+        for &set in &order {
+            v.push(Instr::ReadClock);
+            v.push(Instr::Load(data_addr(set as u64 * 64)));
+        }
+        v.push(Instr::ReadClock);
+    }
+    v.push(Instr::Halt);
+    TraceProgram::new(v)
+}
+
+/// Reorder a per-*position* probe profile into a per-*set* profile,
+/// inverting [`probe_order`].
+pub fn by_set(per_position: &[u64]) -> Vec<u64> {
+    let order = probe_order();
+    let mut out = vec![0; per_position.len()];
+    for (pos, &set) in order.iter().enumerate() {
+        if pos < per_position.len() {
+            out[set] = per_position[pos];
+        }
+    }
+    out
+}
+
+/// A do-nothing stand-in for the trojan, used to measure the spy's
+/// *baseline* probe profile (kernel-footprint evictions and other
+/// secret-independent structure) for differential decoding.
+pub fn quiet_trojan(repeats: usize) -> TraceProgram {
+    let mut v = Vec::new();
+    for _ in 0..repeats {
+        v.push(Instr::Compute(8));
+    }
+    v.push(Instr::Halt);
+    TraceProgram::new(v)
+}
+
+/// Generate the prime-and-probe trojan: encodes `symbol` (an L1 set
+/// index) by loading the line at offset `symbol*64` in each of
+/// `evict_pages` distinct pages — enough same-set lines to evict the
+/// spy's primed line from an 8-way L1. Repeats forever-ish (`repeats`).
+pub fn pp_trojan(symbol: usize, evict_pages: u64, repeats: usize) -> TraceProgram {
+    assert!(symbol < L1_SETS, "symbol must be an L1 set index");
+    let mut v = Vec::new();
+    for _ in 0..repeats {
+        for p in 0..evict_pages {
+            v.push(Instr::Load(data_addr(p * PAGE_SIZE + symbol as u64 * 64)));
+        }
+    }
+    v.push(Instr::Halt);
+    TraceProgram::new(v)
+}
+
+/// A trojan that dirties `lines` distinct cache lines per pass by
+/// storing — the workload knob for the flush-latency channel (E4).
+pub fn dirty_writer(lines: u64, passes: usize) -> TraceProgram {
+    let mut v = Vec::new();
+    for _ in 0..passes {
+        for i in 0..lines {
+            v.push(Instr::Store(data_addr((i * 64) % (16 * PAGE_SIZE))));
+        }
+    }
+    v.push(Instr::Halt);
+    TraceProgram::new(v)
+}
+
+/// The kernel-text probe (E6, Flush+Reload analogue of Yarom & Falkner):
+/// times `trials` null syscalls. With a *shared* kernel image the
+/// syscall path's cache state depends on other domains' kernel entries.
+pub fn syscall_probe(trials: usize) -> TraceProgram {
+    let mut v = Vec::new();
+    for _ in 0..trials {
+        v.push(Instr::ReadClock);
+        v.push(Instr::Syscall(SyscallReq::Null));
+    }
+    v.push(Instr::ReadClock);
+    v.push(Instr::Halt);
+    TraceProgram::new(v)
+}
+
+/// A trojan that either exercises the kernel (`active = true`: null
+/// syscalls warm the kernel image) or computes the equivalent time in
+/// user mode. The 1-bit secret is "did Hi enter the kernel?".
+pub fn kernel_warmer(active: bool, count: usize) -> TraceProgram {
+    let mut v = Vec::new();
+    for _ in 0..count {
+        if active {
+            v.push(Instr::Syscall(SyscallReq::Null));
+        } else {
+            v.push(Instr::Compute(50));
+        }
+    }
+    v.push(Instr::Halt);
+    TraceProgram::new(v)
+}
+
+/// The interrupt-channel victim probe (E5): `trials` timed compute
+/// gaps. An interrupt dispatched mid-gap inflates one latency.
+pub fn irq_probe(trials: usize, gap: u64) -> TraceProgram {
+    let mut v = Vec::new();
+    for _ in 0..trials {
+        v.push(Instr::ReadClock);
+        v.push(Instr::Compute(gap));
+    }
+    v.push(Instr::ReadClock);
+    v.push(Instr::Halt);
+    TraceProgram::new(v)
+}
+
+/// The interrupt-channel trojan (E5): encodes a 1 by submitting an I/O
+/// whose completion interrupt will fire later (ideally during the
+/// victim's slice); encodes a 0 by just computing.
+pub fn io_trojan(bit: bool, line: u8, delay: u64) -> TraceProgram {
+    let mut v = Vec::new();
+    if bit {
+        v.push(Instr::Syscall(SyscallReq::IoSubmit { line, delay }));
+    } else {
+        v.push(Instr::Compute(1));
+    }
+    v.push(Instr::Halt);
+    TraceProgram::new(v)
+}
+
+/// The Figure-1 downgrader: a square-and-multiply modular exponentiation
+/// whose running time leaks the exponent's Hamming weight (the classic
+/// algorithmic channel, §4.3), followed by handing the "ciphertext" to
+/// the network domain over endpoint `ep`.
+///
+/// `square_cost`/`mul_cost` are the per-operation compute units.
+pub fn modexp_downgrader(
+    secret_exponent: u64,
+    bits: u32,
+    square_cost: u64,
+    mul_cost: u64,
+    ep: usize,
+) -> TraceProgram {
+    let mut v = Vec::new();
+    for i in 0..bits {
+        v.push(Instr::Compute(square_cost));
+        if secret_exponent >> i & 1 == 1 {
+            v.push(Instr::Compute(mul_cost));
+        }
+    }
+    v.push(Instr::Syscall(SyscallReq::Send {
+        ep,
+        msg: 0xc1f3_e27e,
+    }));
+    v.push(Instr::Halt);
+    TraceProgram::new(v)
+}
+
+/// The network stack of Figure 1: blocks receiving the ciphertext and
+/// records the delivery time (the remote observer's event clock, §3.2).
+pub fn network_receiver(ep: usize) -> TraceProgram {
+    TraceProgram::new(vec![Instr::Syscall(SyscallReq::Recv { ep }), Instr::Halt])
+}
+
+// ---- observation parsers ----------------------------------------------
+
+/// Pairwise differences of a clock sequence.
+pub fn latencies(clocks: &[Cycles]) -> Vec<u64> {
+    clocks.windows(2).map(|w| w[1].0 - w[0].0).collect()
+}
+
+/// Split the spy's clock log into per-sweep latency vectors. The spy
+/// emits `sets + 1` clocks per sweep ([`pp_spy`]); incomplete trailing
+/// sweeps are dropped.
+pub fn sweep_latencies(clocks: &[Cycles], sets: usize) -> Vec<Vec<u64>> {
+    let per = sets + 1;
+    clocks
+        .chunks_exact(per)
+        .map(|chunk| latencies(chunk))
+        .collect()
+}
+
+/// Per-set minimum latency across sweeps, skipping the first
+/// `skip` sweeps (cold-start transients) — the preemption-robust
+/// aggregate used by the decoders: a padding gap inflates at most one
+/// sample per set per slice, and `min` discards it.
+pub fn per_set_min(sweeps: &[Vec<u64>], skip: usize) -> Vec<u64> {
+    let usable: Vec<_> = sweeps.iter().skip(skip).collect();
+    if usable.is_empty() {
+        return Vec::new();
+    }
+    let sets = usable[0].len();
+    (0..sets)
+        .map(|s| usable.iter().map(|sw| sw[s]).min().unwrap_or(0))
+        .collect()
+}
+
+/// Per-set maximum latency across sweeps, ignoring samples at or above
+/// `spike_threshold` (padding/preemption gaps, which dwarf cache-miss
+/// latencies) and skipping the first `skip` sweeps. This is the
+/// prime-and-probe decoder's aggregate: the trojan's eviction shows up
+/// as the slowest sub-threshold probe of the victim set.
+pub fn per_set_max_below(sweeps: &[Vec<u64>], skip: usize, spike_threshold: u64) -> Vec<u64> {
+    let usable: Vec<_> = sweeps.iter().skip(skip).collect();
+    if usable.is_empty() {
+        return Vec::new();
+    }
+    let sets = usable[0].len();
+    (0..sets)
+        .map(|s| {
+            usable
+                .iter()
+                .map(|sw| sw[s])
+                .filter(|l| *l < spike_threshold)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Per-set median latency across sweeps (skipping `skip`) — the robust
+/// aggregate for *concurrent* channels, where the trojan perturbs every
+/// sweep rather than one probe per slice.
+pub fn per_set_median(sweeps: &[Vec<u64>], skip: usize) -> Vec<u64> {
+    let usable: Vec<_> = sweeps.iter().skip(skip).collect();
+    if usable.is_empty() {
+        return Vec::new();
+    }
+    let sets = usable[0].len();
+    (0..sets)
+        .map(|s| {
+            let col: Vec<u64> = usable.iter().map(|sw| sw[s]).collect();
+            median(&col)
+        })
+        .collect()
+}
+
+/// Robust location estimate: the median (of a copy; input unchanged).
+pub fn median(values: &[u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// A helper so tests can fabricate virtual addresses concisely.
+pub fn va(offset: u64) -> VAddr {
+    data_addr(offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_kernel::program::Program as _;
+
+    #[test]
+    fn spy_shape() {
+        let p = pp_spy(3);
+        // 3 sweeps × (64×2 + 1) + halt
+        let expect = 3 * (L1_SETS * 2 + 1) + 1;
+        let mut n = 0;
+        let mut prog = p;
+        let fb = tp_kernel::program::StepFeedback::default();
+        loop {
+            let i = prog.next(&fb);
+            n += 1;
+            if i == Instr::Halt {
+                break;
+            }
+            assert!(n < 10_000);
+        }
+        assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn trojan_targets_one_set() {
+        let mut p = pp_trojan(7, 3, 1);
+        let fb = tp_kernel::program::StepFeedback::default();
+        for page in 0..3u64 {
+            match p.next(&fb) {
+                Instr::Load(a) => {
+                    assert_eq!(a.0 % PAGE_SIZE, 7 * 64, "offset encodes the set");
+                    assert_eq!((a.0 - data_addr(0).0) / PAGE_SIZE, page);
+                }
+                other => panic!("expected load, got {other:?}"),
+            }
+        }
+        assert_eq!(p.next(&fb), Instr::Halt);
+    }
+
+    #[test]
+    #[should_panic(expected = "L1 set index")]
+    fn trojan_symbol_bounds() {
+        pp_trojan(64, 1, 1);
+    }
+
+    #[test]
+    fn modexp_time_tracks_hamming_weight() {
+        let count_units = |secret: u64| {
+            let mut p = modexp_downgrader(secret, 8, 10, 30, 0);
+            let fb = tp_kernel::program::StepFeedback::default();
+            let mut units = 0;
+            loop {
+                match p.next(&fb) {
+                    Instr::Compute(u) => units += u,
+                    Instr::Halt => break,
+                    _ => {}
+                }
+            }
+            units
+        };
+        assert_eq!(count_units(0x00), 80);
+        assert_eq!(count_units(0xff), 80 + 8 * 30);
+        assert_eq!(count_units(0x0f), 80 + 4 * 30);
+        // Same weight, same time: the channel leaks weight, not value.
+        assert_eq!(count_units(0b0101), count_units(0b1010));
+    }
+
+    #[test]
+    fn latency_parsing() {
+        let clocks = vec![Cycles(10), Cycles(14), Cycles(30)];
+        assert_eq!(latencies(&clocks), vec![4, 16]);
+    }
+
+    #[test]
+    fn sweep_parsing_drops_partial() {
+        // 2 sets → 3 clocks per sweep; 7 clocks = 2 sweeps + 1 leftover.
+        let clocks: Vec<Cycles> = (0..7).map(|i| Cycles(i * 10)).collect();
+        let s = sweep_latencies(&clocks, 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], vec![10, 10]);
+    }
+
+    #[test]
+    fn per_set_min_filters_spikes() {
+        let sweeps = vec![
+            vec![4, 200, 4],    // cold sweep (skipped)
+            vec![4, 30_000, 4], // preemption landed in set 1
+            vec![4, 200, 4],
+            vec![4, 200, 4],
+        ];
+        let m = per_set_min(&sweeps, 1);
+        assert_eq!(m, vec![4, 200, 4], "min discards the preemption spike");
+        assert_eq!(per_set_min(&[], 0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn per_set_max_below_catches_evictions() {
+        let sweeps = vec![
+            vec![4, 4, 4],      // cold (skipped)
+            vec![4, 12, 4],     // eviction in set 1
+            vec![30_000, 4, 4], // padding spike in set 0 (filtered)
+            vec![4, 12, 4],
+        ];
+        assert_eq!(per_set_max_below(&sweeps, 1, 5_000), vec![4, 12, 4]);
+        assert_eq!(per_set_max_below(&[], 0, 100), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn per_set_median_smooths() {
+        let sweeps = vec![vec![4, 40], vec![4, 44], vec![4, 40], vec![900, 40]];
+        assert_eq!(per_set_median(&sweeps, 0), vec![4, 40]);
+    }
+
+    #[test]
+    fn median_is_robust() {
+        assert_eq!(median(&[1, 100, 2, 3, 2]), 2);
+        assert_eq!(median(&[]), 0);
+        assert_eq!(median(&[9]), 9);
+    }
+}

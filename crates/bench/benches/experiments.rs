@@ -1,0 +1,213 @@
+//! Criterion benches timing each experiment's end-to-end runner
+//! (E1..E11). These regenerate the paper-claim artefacts while measuring
+//! how long the reproduction takes to produce them — useful both as a
+//! performance regression net for the simulator and as a single
+//! `cargo bench` entry point that exercises every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tp_attacks::experiments as exp;
+use tp_hw::clock::TimeModel;
+use tp_kernel::config::{Mechanism, TimeProtConfig};
+
+fn bench_e1_downgrader(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_downgrader");
+    g.sample_size(10);
+    g.bench_function("leaky", |b| {
+        b.iter(|| exp::e1_delivery_time(false, black_box(0xff00ff), TimeModel::intel_like()))
+    });
+    g.bench_function("deterministic", |b| {
+        b.iter(|| exp::e1_delivery_time(true, black_box(0xff00ff), TimeModel::intel_like()))
+    });
+    g.finish();
+}
+
+fn bench_e2_prime_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_l1_prime_probe");
+    g.sample_size(10);
+    g.bench_function("open", |b| {
+        b.iter(|| {
+            exp::e2_transmit_once(
+                TimeProtConfig::off(),
+                black_box(21),
+                TimeModel::intel_like(),
+            )
+        })
+    });
+    g.bench_function("closed", |b| {
+        b.iter(|| {
+            exp::e2_transmit_once(
+                TimeProtConfig::full(),
+                black_box(21),
+                TimeModel::intel_like(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_e3_llc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_llc_concurrent");
+    g.sample_size(10);
+    g.bench_function("shared_colours", |b| {
+        b.iter(|| exp::e3_transmit_once(false, black_box(5), TimeModel::intel_like()))
+    });
+    g.bench_function("disjoint_colours", |b| {
+        b.iter(|| exp::e3_transmit_once(true, black_box(5), TimeModel::intel_like()))
+    });
+    g.finish();
+}
+
+fn bench_e4_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_switch_latency");
+    g.sample_size(10);
+    g.bench_function("unpadded_sweep", |b| {
+        b.iter(|| exp::e4_switch_latency(false, black_box(&[0, 96, 192])))
+    });
+    g.bench_function("padded_sweep", |b| {
+        b.iter(|| exp::e4_switch_latency(true, black_box(&[0, 96, 192])))
+    });
+    g.finish();
+}
+
+fn bench_e5_irq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_irq_channel");
+    g.sample_size(10);
+    let delay = exp::e5_victim_slice_delays()[0];
+    g.bench_function("unpartitioned", |b| {
+        b.iter(|| exp::e5_transmit_once(false, true, black_box(delay), TimeModel::intel_like()))
+    });
+    g.bench_function("partitioned", |b| {
+        b.iter(|| exp::e5_transmit_once(true, true, black_box(delay), TimeModel::intel_like()))
+    });
+    g.finish();
+}
+
+fn bench_e6_kclone(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_kernel_clone");
+    g.sample_size(10);
+    g.bench_function("shared_image", |b| {
+        b.iter(|| exp::e6_syscall_latency(false, true, TimeModel::intel_like()))
+    });
+    g.bench_function("cloned_image", |b| {
+        b.iter(|| exp::e6_syscall_latency(true, true, TimeModel::intel_like()))
+    });
+    g.finish();
+}
+
+fn bench_e7_proof(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_proof");
+    g.sample_size(10);
+    g.bench_function("ni_check_full", |b| {
+        b.iter(|| tp_core::check_noninterference(&tp_bench::canonical_scenario(None)))
+    });
+    g.finish();
+}
+
+fn bench_e8_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_tlb_theorem");
+    g.bench_function("randomised_rounds", |b| {
+        b.iter(|| tp_bench::report_e8(black_box(3)))
+    });
+    g.finish();
+}
+
+fn bench_e9_algorithmic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_algorithmic");
+    g.sample_size(10);
+    g.bench_function("padded_delivery", |b| {
+        b.iter(|| exp::e1_delivery_time(true, black_box(u64::MAX), TimeModel::intel_like()))
+    });
+    g.finish();
+}
+
+fn bench_e10_interconnect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_interconnect");
+    g.sample_size(10);
+    g.bench_function("no_mitigation", |b| {
+        b.iter(|| exp::e10_interconnect(None, TimeModel::intel_like()))
+    });
+    g.finish();
+}
+
+fn bench_e11_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_ablation");
+    g.sample_size(10);
+    g.bench_function("one_mechanism", |b| {
+        b.iter(|| {
+            tp_core::check_noninterference(&tp_bench::canonical_scenario(Some(Mechanism::Padding)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_e12_branch_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_branch_predictor");
+    g.sample_size(10);
+    g.bench_function("open", |b| {
+        b.iter(|| {
+            exp::e12_transmit_once(
+                TimeProtConfig::off(),
+                black_box(false),
+                TimeModel::intel_like(),
+            )
+        })
+    });
+    g.bench_function("closed", |b| {
+        b.iter(|| {
+            exp::e12_transmit_once(
+                TimeProtConfig::full(),
+                black_box(false),
+                TimeModel::intel_like(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_e13_hyperthread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_hyperthread");
+    g.sample_size(10);
+    g.bench_function("sibling_threads", |b| {
+        b.iter(|| exp::e13_transmit_once(true, black_box(9), TimeModel::intel_like()))
+    });
+    g.bench_function("separate_cores", |b| {
+        b.iter(|| exp::e13_transmit_once(false, black_box(9), TimeModel::intel_like()))
+    });
+    g.finish();
+}
+
+fn bench_e14_exhaustive(c: &mut Criterion) {
+    use tp_core::exhaustive::{check_exhaustive, ExhaustiveConfig};
+    let mut g = c.benchmark_group("e14_exhaustive");
+    g.sample_size(10);
+    g.bench_function("length_2_space", |b| {
+        b.iter(|| {
+            check_exhaustive(&ExhaustiveConfig {
+                max_len: 2,
+                ..ExhaustiveConfig::small(TimeProtConfig::full())
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_e1_downgrader,
+    bench_e2_prime_probe,
+    bench_e3_llc,
+    bench_e4_switch,
+    bench_e5_irq,
+    bench_e6_kclone,
+    bench_e7_proof,
+    bench_e8_tlb,
+    bench_e9_algorithmic,
+    bench_e10_interconnect,
+    bench_e11_ablation,
+    bench_e12_branch_predictor,
+    bench_e13_hyperthread,
+    bench_e14_exhaustive,
+);
+criterion_main!(experiments);

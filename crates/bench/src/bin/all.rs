@@ -1,0 +1,27 @@
+//! Regenerate every experiment report (the full EXPERIMENTS.md body).
+fn main() {
+    println!("=== aISA conformance ===");
+    print!("{}", tp_bench::report_aisa());
+    for (i, r) in [
+        tp_bench::report_e1(),
+        tp_bench::report_e2(&(0..16).map(|k| (k * 4 + 1) % 64).collect::<Vec<_>>()),
+        tp_bench::report_e3(&(0..8).collect::<Vec<_>>()),
+        tp_bench::report_e4(),
+        tp_bench::report_e5(),
+        tp_bench::report_e6(8),
+        tp_bench::report_e7(),
+        tp_bench::report_e8(50),
+        tp_bench::report_e9(),
+        tp_bench::report_e10(),
+        tp_bench::report_e11(),
+        tp_bench::report_e12(4),
+        tp_bench::report_e13(&[3, 20, 47]),
+        tp_bench::report_e14(3),
+    ]
+    .iter()
+    .enumerate()
+    {
+        println!("\n=== E{} ===", i + 1);
+        print!("{r}");
+    }
+}

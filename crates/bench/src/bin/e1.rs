@@ -1,0 +1,4 @@
+//! E1 / Figure 1: the downgrader pipeline.
+fn main() {
+    print!("{}", tp_bench::report_e1());
+}

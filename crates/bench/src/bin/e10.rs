@@ -1,0 +1,4 @@
+//! E10: the stateless-interconnect channel.
+fn main() {
+    print!("{}", tp_bench::report_e10());
+}

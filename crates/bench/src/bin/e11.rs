@@ -1,0 +1,4 @@
+//! E11: mechanism ablation.
+fn main() {
+    print!("{}", tp_bench::report_e11());
+}

@@ -1,0 +1,4 @@
+//! E12: branch-predictor training channel.
+fn main() {
+    print!("{}", tp_bench::report_e12(6));
+}

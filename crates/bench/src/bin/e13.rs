@@ -1,0 +1,5 @@
+//! E13: hyperthread channel.
+fn main() {
+    let symbols: Vec<usize> = vec![3, 9, 20, 33, 47, 58];
+    print!("{}", tp_bench::report_e13(&symbols));
+}

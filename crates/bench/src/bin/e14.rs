@@ -1,0 +1,4 @@
+//! E14: exhaustive small-scope model check.
+fn main() {
+    print!("{}", tp_bench::report_e14(4));
+}

@@ -1,0 +1,5 @@
+//! E2: L1 prime-and-probe covert channel.
+fn main() {
+    let symbols: Vec<usize> = (0..16).map(|k| (k * 4 + 1) % 64).collect();
+    print!("{}", tp_bench::report_e2(&symbols));
+}

@@ -1,0 +1,5 @@
+//! E3: concurrent LLC prime-and-probe and page colouring.
+fn main() {
+    let symbols: Vec<usize> = (0..8).collect();
+    print!("{}", tp_bench::report_e3(&symbols));
+}

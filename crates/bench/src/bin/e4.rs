@@ -1,0 +1,4 @@
+//! E4: domain-switch latency vs dirty lines.
+fn main() {
+    print!("{}", tp_bench::report_e4());
+}

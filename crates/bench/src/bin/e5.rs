@@ -1,0 +1,4 @@
+//! E5: the interrupt channel.
+fn main() {
+    print!("{}", tp_bench::report_e5());
+}

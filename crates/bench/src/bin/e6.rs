@@ -1,0 +1,4 @@
+//! E6: kernel-image sharing and kernel clone.
+fn main() {
+    print!("{}", tp_bench::report_e6(8));
+}

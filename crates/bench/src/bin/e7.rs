@@ -1,0 +1,4 @@
+//! E7: the proof harness.
+fn main() {
+    print!("{}", tp_bench::report_e7());
+}

@@ -1,0 +1,4 @@
+//! E8: the TLB/ASID partitioning theorem.
+fn main() {
+    print!("{}", tp_bench::report_e8(50));
+}

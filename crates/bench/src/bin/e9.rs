@@ -1,0 +1,4 @@
+//! E9: algorithmic channels and padding.
+fn main() {
+    print!("{}", tp_bench::report_e9());
+}

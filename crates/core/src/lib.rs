@@ -1,0 +1,84 @@
+//! # tp-core — a checkable "proof" of time protection
+//!
+//! This crate is the primary contribution of the reproduction of
+//! *"Can We Prove Time Protection?"* (Heiser, Klein, Murray — HotOS
+//! 2019). The paper argues that time protection can be verified with
+//! established formal methods by reducing timing-channel reasoning to
+//! functional properties over an abstract hardware model:
+//!
+//! * **[`partition`] (obligation P)** — resource partitioning is applied
+//!   at all times and is not bypassable: a pure state invariant.
+//! * **[`flush`] (obligation F)** — time-shared state is reset to a
+//!   canonical, history-independent state at each domain switch.
+//! * **[`padding`] (obligation T)** — switches complete at exactly their
+//!   pre-determined instant, verified "by simply comparing time stamps".
+//! * **[`noninterference`] (the theorem)** — with P/F/T in place, a
+//!   domain's observable trace is independent of other domains'
+//!   secrets; checked by exhaustive replay over a secret set.
+//! * **[`proof`]** — assembles the above, conditioned on the aISA
+//!   hardware contract ([`tp_hw::aisa`]) and quantified over a family of
+//!   time models ([`proof::default_time_models`]) to realise §5.1's
+//!   "deterministic yet unspecified function" argument.
+//!
+//! Where the paper envisions Isabelle/HOL proofs, this crate *checks*
+//! the same obligations mechanically over executions of the modelled
+//! system. A failed obligation yields a concrete, replayable witness —
+//! which the ablation experiment (E11) uses to show each §4 mechanism
+//! is necessary.
+//!
+//! ## Example
+//!
+//! ```
+//! use tp_core::noninterference::NiScenario;
+//! use tp_core::proof::{default_time_models, prove};
+//! use tp_hw::machine::MachineConfig;
+//! use tp_hw::types::Cycles;
+//! use tp_kernel::config::{DomainSpec, KernelConfig, TimeProtConfig};
+//! use tp_kernel::domain::DomainId;
+//! use tp_kernel::layout::data_addr;
+//! use tp_kernel::program::{Instr, TraceProgram};
+//!
+//! // Hi stores an amount of data that depends on the secret…
+//! let scenario = NiScenario {
+//!     mcfg: MachineConfig::single_core(),
+//!     make_kcfg: Box::new(|secret| {
+//!         let hi = TraceProgram::new(
+//!             (0..secret * 16).map(|i| Instr::Store(data_addr(i % 4096 * 64))).collect(),
+//!         );
+//!         let lo = TraceProgram::new(vec![
+//!             Instr::Load(data_addr(0)),
+//!             Instr::ReadClock,
+//!             Instr::Halt,
+//!         ]);
+//!         KernelConfig::new(vec![
+//!             DomainSpec::new(Box::new(hi)),
+//!             DomainSpec::new(Box::new(lo)),
+//!         ])
+//!         .with_tp(TimeProtConfig::full())
+//!     }),
+//!     lo: DomainId(1),
+//!     secrets: vec![0, 5],
+//!     budget: Cycles(300_000),
+//!     max_steps: 100_000,
+//! };
+//! let report = prove(&scenario, &default_time_models()[..1]);
+//! assert!(report.time_protection_proved());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exhaustive;
+pub mod flush;
+pub mod noninterference;
+pub mod obligation;
+pub mod padding;
+pub mod partition;
+pub mod proof;
+pub mod wcet;
+
+pub use exhaustive::{check_exhaustive, ExhaustiveConfig, ExhaustiveVerdict};
+pub use noninterference::{check_noninterference, NiScenario, NiVerdict};
+pub use obligation::{ObligationResult, Violation, ViolationKind};
+pub use proof::{default_time_models, prove, ProofReport};
+pub use wcet::recommended_pad;

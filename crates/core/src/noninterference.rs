@@ -1,0 +1,354 @@
+//! The noninterference checker: the executable analogue of §5.2's
+//! information-flow proof.
+//!
+//! The paper's theorem shape: fix a domain Lo; for any two behaviours of
+//! the other domains (any two values of Hi's secret), Lo's *observable
+//! trace* — every clock value it reads, every message it receives and
+//! when — must be identical. "By reflecting elapsed time as a value in
+//! the state of the time model, timing-channel reasoning is reduced to
+//! storage-channel reasoning": our observations are exactly such stored
+//! clock values.
+//!
+//! Where the paper proves this once and for all with Isabelle/HOL, the
+//! reproduction *checks* it by exhaustive replay: build the same system
+//! under every secret in a caller-supplied set, run each copy for the
+//! same budget, and compare Lo's observation logs event by event. A
+//! divergence is a concrete, replayable timing-channel witness; its
+//! absence over the enumerated secrets (and over a family of time
+//! models, see [`crate::proof`]) is the evidence the proof obligations
+//! are discharged.
+
+use crate::flush::{canonical_core_digest, check_flush_at_switch};
+use crate::obligation::ObligationResult;
+use crate::padding::check_padding;
+use crate::partition::check_partition;
+use tp_hw::machine::MachineConfig;
+use tp_hw::types::Cycles;
+use tp_kernel::config::KernelConfig;
+use tp_kernel::domain::{DomainId, ObsEvent};
+use tp_kernel::kernel::{StepEvent, System};
+
+/// A parameterised family of systems: one per secret value.
+///
+/// `make_kcfg` must build configurations that are *identical except for
+/// Hi's secret-dependent behaviour* — Lo's program, all slice/pad
+/// parameters, and the machine must not depend on the secret, otherwise
+/// the comparison is meaningless. (The checker cannot verify this
+/// intent; it is the experiment author's equivalent of the paper's
+/// "without loss of generality, fix some domain Lo".)
+pub struct NiScenario {
+    /// Machine configuration (shared by all secrets).
+    pub mcfg: MachineConfig,
+    /// Builds the kernel configuration for a given secret.
+    pub make_kcfg: Box<dyn Fn(u64) -> KernelConfig>,
+    /// The observer domain.
+    pub lo: DomainId,
+    /// The secrets to enumerate.
+    pub secrets: Vec<u64>,
+    /// Cycle budget per run.
+    pub budget: Cycles,
+    /// Step safety-net per run.
+    pub max_steps: usize,
+}
+
+/// The checker's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NiVerdict {
+    /// All secret pairs produced identical Lo observations.
+    Pass {
+        /// Number of secrets enumerated.
+        secrets: usize,
+        /// Total events compared.
+        events_compared: usize,
+    },
+    /// A distinguishing pair was found: a concrete channel witness.
+    Leak {
+        /// First secret of the distinguishing pair.
+        secret_a: u64,
+        /// Second secret of the distinguishing pair.
+        secret_b: u64,
+        /// Index of the first diverging observation event.
+        divergence: usize,
+        /// Lo's event under `secret_a` at that index (None = trace ended).
+        event_a: Option<ObsEvent>,
+        /// Lo's event under `secret_b` at that index.
+        event_b: Option<ObsEvent>,
+    },
+}
+
+impl NiVerdict {
+    /// Whether noninterference held.
+    pub fn passed(&self) -> bool {
+        matches!(self, NiVerdict::Pass { .. })
+    }
+}
+
+impl core::fmt::Display for NiVerdict {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NiVerdict::Pass {
+                secrets,
+                events_compared,
+            } => write!(
+                f,
+                "[NI] HOLDS over {secrets} secrets ({events_compared} events compared)"
+            ),
+            NiVerdict::Leak {
+                secret_a,
+                secret_b,
+                divergence,
+                event_a,
+                event_b,
+            } => write!(
+                f,
+                "[NI] LEAK: secrets {secret_a} vs {secret_b} diverge at event {divergence}: \
+                 {event_a:?} vs {event_b:?}"
+            ),
+        }
+    }
+}
+
+/// Results of running one system while checking the functional
+/// obligations P/F/T along the way.
+#[derive(Debug)]
+pub struct MonitoredRun {
+    /// The system after the run.
+    pub system: System,
+    /// Partitioning invariant result.
+    pub p: ObligationResult,
+    /// Flush correctness result.
+    pub f: ObligationResult,
+    /// Padding correctness result.
+    pub t: ObligationResult,
+    /// Steps executed.
+    pub steps: usize,
+}
+
+/// Run `sys` for `budget` cycles (at most `max_steps` steps), checking
+/// P at every switch and every `P_CHECK_INTERVAL` steps, F immediately
+/// after every switch, and T at the end.
+pub fn run_monitored(mut sys: System, budget: Cycles, max_steps: usize) -> MonitoredRun {
+    const P_CHECK_INTERVAL: usize = 2048;
+    let canonical = canonical_core_digest(&sys);
+    let mut p = ObligationResult::new("P");
+    let mut f = ObligationResult::new("F");
+    let mut steps = 0;
+
+    p.merge(check_partition(&sys));
+    while sys.now().0 < budget.0 && steps < max_steps {
+        let ev = sys.step();
+        steps += 1;
+        if let StepEvent::Switched { .. } = ev {
+            f.merge(check_flush_at_switch(&sys, canonical));
+            p.merge(check_partition(&sys));
+        } else if steps % P_CHECK_INTERVAL == 0 {
+            p.merge(check_partition(&sys));
+        }
+    }
+    let t = check_padding(&sys);
+    MonitoredRun {
+        system: sys,
+        p,
+        f,
+        t,
+        steps,
+    }
+}
+
+/// Index of the first difference between two observation logs, if any
+/// (including a length mismatch).
+pub fn first_divergence(a: &[ObsEvent], b: &[ObsEvent]) -> Option<usize> {
+    let n = a.len().min(b.len());
+    for i in 0..n {
+        if a[i] != b[i] {
+            return Some(i);
+        }
+    }
+    if a.len() != b.len() {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Run the scenario and compare Lo's observations across all secrets.
+pub fn check_noninterference(sc: &NiScenario) -> NiVerdict {
+    check_ni_parts(
+        &sc.mcfg,
+        &*sc.make_kcfg,
+        sc.lo,
+        &sc.secrets,
+        sc.budget,
+        sc.max_steps,
+    )
+}
+
+/// [`check_noninterference`] over unbundled parts — used by
+/// [`crate::proof::prove`] to substitute machine configurations (e.g.
+/// different time models) without rebuilding the scenario.
+pub fn check_ni_parts(
+    mcfg: &MachineConfig,
+    make_kcfg: &dyn Fn(u64) -> KernelConfig,
+    lo: DomainId,
+    secrets: &[u64],
+    budget: Cycles,
+    max_steps: usize,
+) -> NiVerdict {
+    assert!(secrets.len() >= 2, "need at least two secrets to compare");
+    let mut runs: Vec<(u64, Vec<ObsEvent>)> = Vec::with_capacity(secrets.len());
+    for &s in secrets {
+        let kcfg = make_kcfg(s);
+        let mut sys = System::new(mcfg.clone(), kcfg)
+            .expect("scenario construction must succeed for every secret");
+        sys.run_cycles(budget, max_steps);
+        runs.push((s, sys.observation(lo).events.clone()));
+    }
+
+    let (s0, ref base) = runs[0];
+    let mut compared = base.len();
+    for (s, obs) in runs.iter().skip(1) {
+        compared += obs.len();
+        if let Some(i) = first_divergence(base, obs) {
+            return NiVerdict::Leak {
+                secret_a: s0,
+                secret_b: *s,
+                divergence: i,
+                event_a: base.get(i).copied(),
+                event_b: obs.get(i).copied(),
+            };
+        }
+    }
+    NiVerdict::Pass {
+        secrets: runs.len(),
+        events_compared: compared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_hw::types::Cycles;
+    use tp_kernel::config::{DomainSpec, KernelConfig, TimeProtConfig};
+    use tp_kernel::layout::data_addr;
+    use tp_kernel::program::{Instr, TraceProgram};
+
+    /// Hi: touches an amount of memory controlled by the secret (0 =
+    /// idle, k = thrash k pages), dirtying lines as it goes.
+    fn hi_program(secret: u64) -> TraceProgram {
+        let mut instrs = Vec::new();
+        for i in 0..secret * 64 {
+            instrs.push(Instr::Store(data_addr((i * 64) % (16 * 4096))));
+        }
+        TraceProgram::new(instrs)
+    }
+
+    /// Lo: repeatedly probes a small buffer, reading the clock after
+    /// each sweep — a self-timing observer in the sense of §3.1.
+    fn lo_program(sweeps: usize) -> TraceProgram {
+        let mut instrs = Vec::new();
+        for _ in 0..sweeps {
+            for i in 0..32 {
+                instrs.push(Instr::Load(data_addr(i * 64)));
+            }
+            instrs.push(Instr::ReadClock);
+        }
+        instrs.push(Instr::Halt);
+        TraceProgram::new(instrs)
+    }
+
+    fn scenario(tp: TimeProtConfig) -> NiScenario {
+        NiScenario {
+            mcfg: MachineConfig::single_core(),
+            make_kcfg: Box::new(move |secret| {
+                KernelConfig::new(vec![
+                    DomainSpec::new(Box::new(hi_program(secret)))
+                        .with_slice(Cycles(20_000))
+                        .with_pad(Cycles(30_000)),
+                    DomainSpec::new(Box::new(lo_program(40)))
+                        .with_slice(Cycles(20_000))
+                        .with_pad(Cycles(30_000)),
+                ])
+                .with_tp(tp)
+            }),
+            lo: DomainId(1),
+            secrets: vec![0, 3, 11],
+            budget: Cycles(1_500_000),
+            max_steps: 400_000,
+        }
+    }
+
+    #[test]
+    fn full_protection_passes() {
+        let v = check_noninterference(&scenario(TimeProtConfig::full()));
+        assert!(v.passed(), "{v}");
+        if let NiVerdict::Pass {
+            events_compared, ..
+        } = v
+        {
+            assert!(
+                events_compared > 50,
+                "Lo must actually have observed things"
+            );
+        }
+    }
+
+    #[test]
+    fn no_protection_leaks() {
+        let v = check_noninterference(&scenario(TimeProtConfig::off()));
+        assert!(!v.passed(), "unprotected system must leak: {v}");
+    }
+
+    #[test]
+    fn monitored_run_discharges_pft() {
+        let sc = scenario(TimeProtConfig::full());
+        let kcfg = (sc.make_kcfg)(7);
+        let sys = System::new(sc.mcfg.clone(), kcfg).unwrap();
+        let run = run_monitored(sys, Cycles(800_000), 200_000);
+        assert!(run.p.holds(), "{}", run.p);
+        assert!(run.f.holds(), "{}", run.f);
+        assert!(run.t.holds(), "{}", run.t);
+        assert!(run.p.checked_points > 0);
+        assert!(run.f.checked_points > 0);
+        assert!(run.t.checked_points > 0);
+    }
+
+    #[test]
+    fn first_divergence_finds_mismatch() {
+        use ObsEvent::*;
+        let a = vec![Clock(Cycles(1)), Clock(Cycles(2))];
+        let b = vec![Clock(Cycles(1)), Clock(Cycles(3))];
+        assert_eq!(first_divergence(&a, &b), Some(1));
+        assert_eq!(first_divergence(&a, &a), None);
+        let c = vec![Clock(Cycles(1))];
+        assert_eq!(
+            first_divergence(&a, &c),
+            Some(1),
+            "length mismatch diverges"
+        );
+    }
+
+    #[test]
+    fn verdict_display() {
+        let v = NiVerdict::Pass {
+            secrets: 3,
+            events_compared: 120,
+        };
+        assert!(v.to_string().contains("HOLDS"));
+        let l = NiVerdict::Leak {
+            secret_a: 0,
+            secret_b: 1,
+            divergence: 5,
+            event_a: None,
+            event_b: None,
+        };
+        assert!(l.to_string().contains("LEAK"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two secrets")]
+    fn requires_two_secrets() {
+        let mut sc = scenario(TimeProtConfig::full());
+        sc.secrets = vec![1];
+        check_noninterference(&sc);
+    }
+}

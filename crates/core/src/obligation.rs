@@ -1,0 +1,140 @@
+//! Proof obligations and violations.
+//!
+//! §5.2 reduces time protection to functional properties:
+//!
+//! * **P** — partitioning is applied at all times and is not bypassable;
+//! * **F** — flushing resets time-shared state to a history-independent
+//!   canonical state at every domain switch;
+//! * **T** — domain switches are padded to a constant, pre-determined
+//!   instant (timestamp comparison only — no latency reasoning);
+//! * **NI** — given P, F and T, a domain's observations are independent
+//!   of other domains' secrets (the noninterference theorem itself).
+//!
+//! Each obligation check produces an [`ObligationResult`]; violations
+//! carry enough detail to debug the configuration that caused them.
+
+use tp_hw::types::Cycles;
+
+/// The kind of a discovered violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A cache line owned by one domain sits in another's partition.
+    PartitionCacheLine,
+    /// A frame allocated to a domain has a colour outside its set.
+    PartitionFrame,
+    /// A TLB entry of a non-current domain survived into this slice.
+    PartitionTlb,
+    /// Core-local state was not at its canonical reset value after a
+    /// switch flush.
+    FlushResidue,
+    /// A padded switch overran its target.
+    PadOverrun,
+    /// A padded switch did not complete exactly at its target.
+    PadMistimed,
+    /// A deterministically-delivered message was ready before its
+    /// endpoint threshold.
+    IpcEarlyDelivery,
+}
+
+/// One concrete violation of an obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What was violated.
+    pub kind: ViolationKind,
+    /// Clock at discovery.
+    pub at: Cycles,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The outcome of checking one obligation over an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObligationResult {
+    /// Name of the obligation ("P", "F", "T", ...).
+    pub name: &'static str,
+    /// Number of points at which the obligation was checked.
+    pub checked_points: usize,
+    /// All violations found.
+    pub violations: Vec<Violation>,
+}
+
+impl ObligationResult {
+    /// A fresh, empty result.
+    pub fn new(name: &'static str) -> Self {
+        ObligationResult {
+            name,
+            checked_points: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Whether the obligation held everywhere it was checked.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Record a violation.
+    pub fn violate(&mut self, kind: ViolationKind, at: Cycles, detail: String) {
+        self.violations.push(Violation { kind, at, detail });
+    }
+
+    /// Merge another result of the same obligation into this one.
+    pub fn merge(&mut self, other: ObligationResult) {
+        self.checked_points += other.checked_points;
+        self.violations.extend(other.violations);
+    }
+}
+
+impl core::fmt::Display for ObligationResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.holds() {
+            write!(
+                f,
+                "[{}] HOLDS ({} check points)",
+                self.name, self.checked_points
+            )
+        } else {
+            write!(
+                f,
+                "[{}] VIOLATED ({} violations / {} check points; first: {})",
+                self.name,
+                self.violations.len(),
+                self.checked_points,
+                self.violations[0].detail
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_until_violated() {
+        let mut r = ObligationResult::new("P");
+        r.checked_points = 10;
+        assert!(r.holds());
+        assert!(r.to_string().contains("HOLDS"));
+        r.violate(
+            ViolationKind::PartitionFrame,
+            Cycles(5),
+            "frame 3 miscoloured".into(),
+        );
+        assert!(!r.holds());
+        assert!(r.to_string().contains("VIOLATED"));
+        assert!(r.to_string().contains("frame 3"));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ObligationResult::new("F");
+        a.checked_points = 2;
+        let mut b = ObligationResult::new("F");
+        b.checked_points = 3;
+        b.violate(ViolationKind::FlushResidue, Cycles(9), "residue".into());
+        a.merge(b);
+        assert_eq!(a.checked_points, 5);
+        assert_eq!(a.violations.len(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Obligation P: the partitioning invariant (§5.2).
+//!
+//! "The proofs must show that all resource partitioning [...] is applied
+//! at all times and not bypassable." Concretely, at any observation
+//! point:
+//!
+//! 1. every physical frame owned by a domain has a colour from that
+//!    domain's assigned set (frames drive where cache lines can land);
+//! 2. every valid line in the *shared* LLC was installed on behalf of a
+//!    principal whose colour set contains the line's colour — i.e. no
+//!    domain's footprint strays into another's partition;
+//! 3. mid-slice, the TLB holds non-global entries only for the currently
+//!    running domain (time-shared state is flushed at switches, so any
+//!    foreign survivor is a flush/partition failure).
+//!
+//! The checks read only ghost state ([`tp_hw::types::DomainTag`]); the
+//! hardware's timing behaviour never consults it, so the checker cannot
+//! perturb what it observes.
+
+use crate::obligation::{ObligationResult, ViolationKind};
+use tp_hw::types::{Colour, DomainTag};
+use tp_kernel::kernel::System;
+
+/// Does `tag`'s colour set (or the kernel's) contain `colour`?
+fn tag_may_use(sys: &System, tag: DomainTag, colour: Colour) -> bool {
+    if tag == DomainTag::KERNEL {
+        sys.kernel.kernel_colours.contains(&colour)
+    } else {
+        sys.kernel
+            .colour_assignment
+            .get(tag.0 as usize)
+            .map(|set| set.contains(&colour))
+            .unwrap_or(false)
+    }
+}
+
+/// Check the partitioning invariant on the current state of `sys`.
+///
+/// Only meaningful when colouring is enabled; with colouring off the
+/// invariant is vacuous (every domain may use every colour) and the
+/// result trivially holds — the *noninterference* check is what exposes
+/// the resulting channel.
+pub fn check_partition(sys: &System) -> ObligationResult {
+    let mut r = ObligationResult::new("P");
+    let now = sys.now();
+    if !sys.kernel.tp.colouring {
+        // Vacuously true; record zero check points so reports show the
+        // obligation was not exercised.
+        return r;
+    }
+
+    let llc_colours = match sys.hw.config().llc {
+        Some(c) => c.colours(),
+        None => return r,
+    };
+
+    // 1. Frame colouring.
+    for (pfn, info) in sys.hw.mem.iter() {
+        if let Some(owner) = info.owner {
+            r.checked_points += 1;
+            let colour = Colour((pfn % llc_colours as u64) as u16);
+            if !tag_may_use(sys, owner, colour) {
+                r.violate(
+                    ViolationKind::PartitionFrame,
+                    now,
+                    format!("frame {pfn} owned by {owner} has foreign colour {colour:?}"),
+                );
+            }
+        }
+    }
+
+    // 2. LLC line placement.
+    if let Some(llc) = &sys.hw.llc {
+        let sets_per_colour = llc.config().sets / llc_colours;
+        for (set, way, line) in llc.iter_lines() {
+            if !line.valid {
+                continue;
+            }
+            r.checked_points += 1;
+            let colour = Colour((set / sets_per_colour) as u16);
+            if let Some(owner) = line.owner {
+                if !tag_may_use(sys, owner, colour) {
+                    r.violate(
+                        ViolationKind::PartitionCacheLine,
+                        now,
+                        format!(
+                            "LLC set {set} way {way}: line owned by {owner} in colour {colour:?}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // 3. TLB residency (only with flushing on; otherwise survivors are
+    //    expected and the NI check exposes their effect).
+    if sys.kernel.tp.flush_on_switch {
+        let cur = &sys.kernel.domains[sys.kernel.current.0];
+        for e in sys.hw.cores[sys.kernel.core.0].tlb.iter() {
+            r.checked_points += 1;
+            if !e.global && e.asid != cur.asid {
+                r.violate(
+                    ViolationKind::PartitionTlb,
+                    now,
+                    format!(
+                        "TLB entry for asid {:?} present during {:?}",
+                        e.asid, cur.id
+                    ),
+                );
+            }
+        }
+    }
+
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_hw::machine::MachineConfig;
+    use tp_kernel::config::{DomainSpec, KernelConfig, TimeProtConfig};
+    use tp_kernel::layout::data_addr;
+    use tp_kernel::program::{IdleProgram, TraceProgram};
+
+    fn busy_system(tp: TimeProtConfig) -> System {
+        let worker = TraceProgram::loads((0..64).map(|i| data_addr(i * 64).0));
+        let kcfg = KernelConfig::new(vec![
+            DomainSpec::new(Box::new(worker.clone())),
+            DomainSpec::new(Box::new(worker)),
+        ])
+        .with_tp(tp);
+        System::new(MachineConfig::single_core(), kcfg).unwrap()
+    }
+
+    #[test]
+    fn fresh_coloured_system_satisfies_p() {
+        let sys = busy_system(TimeProtConfig::full());
+        let r = check_partition(&sys);
+        assert!(r.holds(), "{r}");
+        assert!(r.checked_points > 0);
+    }
+
+    #[test]
+    fn p_holds_throughout_execution() {
+        let mut sys = busy_system(TimeProtConfig::full());
+        for _ in 0..2000 {
+            sys.step();
+        }
+        let r = check_partition(&sys);
+        assert!(r.holds(), "{r}");
+    }
+
+    #[test]
+    fn p_is_vacuous_without_colouring() {
+        let mut sys = busy_system(TimeProtConfig::off());
+        for _ in 0..500 {
+            sys.step();
+        }
+        let r = check_partition(&sys);
+        assert!(r.holds());
+        assert_eq!(r.checked_points, 0, "not exercised without colouring");
+    }
+
+    #[test]
+    fn forged_frame_ownership_is_caught() {
+        let mut sys = busy_system(TimeProtConfig::full());
+        // Sabotage: hand a kernel-coloured frame to domain 0.
+        let llc_colours = sys.hw.config().llc.unwrap().colours() as u64;
+        let kcolour = sys.kernel.kernel_colours[0];
+        let pfn = (0..sys.hw.mem.num_frames() as u64)
+            .find(|p| p % llc_colours == kcolour.0 as u64)
+            .unwrap();
+        sys.hw.mem.assign(pfn, DomainTag(0));
+        let r = check_partition(&sys);
+        assert!(!r.holds());
+        assert_eq!(r.violations[0].kind, ViolationKind::PartitionFrame);
+    }
+
+    #[test]
+    fn planted_llc_line_is_caught() {
+        let mut sys = busy_system(TimeProtConfig::full());
+        // Sabotage: domain 0 installs a line in domain 1's colours
+        // (as a broken kernel or hardware would).
+        let d1_colour = sys.kernel.colour_assignment[1][0];
+        let llc = sys.hw.llc.as_mut().unwrap();
+        let sets_per_colour = llc.config().sets / llc.config().colours();
+        let target_set = d1_colour.0 as usize * sets_per_colour;
+        let paddr = tp_hw::types::PAddr((target_set as u64) << tp_hw::types::LINE_BITS);
+        llc.access(paddr, false, DomainTag(0));
+        let r = check_partition(&sys);
+        assert!(!r.holds());
+        assert!(matches!(
+            r.violations[0].kind,
+            ViolationKind::PartitionCacheLine
+        ));
+    }
+
+    #[test]
+    fn stale_tlb_entry_is_caught() {
+        let mut sys = busy_system(TimeProtConfig::full());
+        // Plant a TLB entry for the non-current domain.
+        let other = sys.kernel.domains[1].asid;
+        sys.hw.cores[0].tlb.insert(tp_hw::tlb::TlbEntry {
+            asid: other,
+            vpn: 0x999,
+            pfn: 1,
+            writable: false,
+            global: false,
+            owner: DomainTag(1),
+        });
+        let r = check_partition(&sys);
+        assert!(!r.holds());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::PartitionTlb));
+    }
+
+    #[test]
+    fn idle_system_has_no_violations() {
+        let kcfg = KernelConfig::new(vec![DomainSpec::new(Box::new(IdleProgram))]);
+        let sys = System::new(MachineConfig::single_core(), kcfg).unwrap();
+        assert!(check_partition(&sys).holds());
+    }
+}

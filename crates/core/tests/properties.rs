@@ -1,0 +1,113 @@
+//! Property-based tests for the proof harness: the checker itself must
+//! be sound (same-secret replays always pass; a detected leak is always
+//! replayable) and the obligations must hold under randomised workloads
+//! with full protection.
+
+use proptest::prelude::*;
+
+use tp_core::noninterference::{
+    check_noninterference, first_divergence, run_monitored, NiScenario,
+};
+use tp_hw::machine::MachineConfig;
+use tp_hw::types::Cycles;
+use tp_kernel::config::{DomainSpec, KernelConfig, TimeProtConfig};
+use tp_kernel::domain::{DomainId, ObsEvent};
+use tp_kernel::layout::data_addr;
+use tp_kernel::program::{Instr, TraceProgram};
+
+fn workload_program(seed: u64, len: usize) -> TraceProgram {
+    let mut v = Vec::new();
+    for i in 0..len {
+        match tp_hw::types::mix64(seed + i as u64) % 5 {
+            0 => v.push(Instr::Load(data_addr((i as u64 * 64) % (8 * 4096)))),
+            1 => v.push(Instr::Store(data_addr((i as u64 * 192) % (8 * 4096)))),
+            2 => v.push(Instr::Compute(i as u64 % 40 + 1)),
+            3 => v.push(Instr::ReadClock),
+            _ => v.push(Instr::Branch {
+                taken: i % 3 == 0,
+                target: tp_kernel::layout::code_addr((i as u64 * 8) % 4096),
+            }),
+        }
+    }
+    v.push(Instr::Halt);
+    TraceProgram::new(v)
+}
+
+fn scenario(tp: TimeProtConfig, hi_seed: u64, secrets: Vec<u64>) -> NiScenario {
+    NiScenario {
+        mcfg: MachineConfig::single_core(),
+        make_kcfg: Box::new(move |secret| {
+            // Hi's length depends on the secret; its shape on hi_seed.
+            let hi = workload_program(hi_seed, (secret as usize % 7) * 40);
+            let lo = workload_program(99, 160);
+            KernelConfig::new(vec![
+                DomainSpec::new(Box::new(hi))
+                    .with_slice(Cycles(20_000))
+                    .with_pad(Cycles(30_000)),
+                DomainSpec::new(Box::new(lo))
+                    .with_slice(Cycles(20_000))
+                    .with_pad(Cycles(30_000)),
+            ])
+            .with_tp(tp)
+        }),
+        lo: DomainId(1),
+        secrets,
+        budget: Cycles(600_000),
+        max_steps: 300_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Soundness: identical secrets can never be distinguished — if the
+    /// checker reports a leak for equal secrets, it is broken.
+    #[test]
+    fn checker_never_distinguishes_equal_secrets(seed in 0u64..500, tp_on in any::<bool>()) {
+        let tp = if tp_on { TimeProtConfig::full() } else { TimeProtConfig::off() };
+        let v = check_noninterference(&scenario(tp, seed, vec![4, 4, 4]));
+        prop_assert!(v.passed(), "equal secrets distinguished: {v}");
+    }
+
+    /// With full protection, randomised Hi workloads never leak, and
+    /// the functional obligations all hold along the way.
+    #[test]
+    fn full_protection_holds_for_random_workloads(seed in 0u64..500) {
+        let sc = scenario(TimeProtConfig::full(), seed, vec![0, 3, 6]);
+        let v = check_noninterference(&sc);
+        prop_assert!(v.passed(), "{v}");
+        let kcfg = (sc.make_kcfg)(6);
+        let run = run_monitored(
+            tp_kernel::kernel::System::new(sc.mcfg.clone(), kcfg).unwrap(),
+            Cycles(400_000),
+            200_000,
+        );
+        prop_assert!(run.p.holds(), "{}", run.p);
+        prop_assert!(run.f.holds(), "{}", run.f);
+        prop_assert!(run.t.holds(), "{}", run.t);
+    }
+}
+
+proptest! {
+    /// `first_divergence` agrees with a naive specification.
+    #[test]
+    fn first_divergence_matches_spec(
+        a in prop::collection::vec(0u64..5, 0..30),
+        b in prop::collection::vec(0u64..5, 0..30),
+    ) {
+        let ea: Vec<ObsEvent> = a.iter().map(|x| ObsEvent::Clock(Cycles(*x))).collect();
+        let eb: Vec<ObsEvent> = b.iter().map(|x| ObsEvent::Clock(Cycles(*x))).collect();
+        let spec = {
+            let mut i = 0;
+            loop {
+                if i >= ea.len() && i >= eb.len() { break None; }
+                if i >= ea.len() || i >= eb.len() || ea[i] != eb[i] { break Some(i); }
+                i += 1;
+            }
+        };
+        prop_assert_eq!(first_divergence(&ea, &eb), spec);
+        // Symmetry and reflexivity.
+        prop_assert_eq!(first_divergence(&ea, &eb), first_divergence(&eb, &ea));
+        prop_assert_eq!(first_divergence(&ea, &ea), None);
+    }
+}

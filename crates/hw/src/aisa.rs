@@ -1,0 +1,351 @@
+//! The augmented ISA (aISA): a security-oriented hardware-software
+//! contract (§4.1, citing Ge et al. 2018a).
+//!
+//! The paper's conclusion is blunt: proofs of time protection are
+//! conditional on hardware honouring a contract that makes every
+//! timing-relevant resource either *partitionable* or *flushable* — "we
+//! are clearly at the mercy of processor manufacturers here". This module
+//! makes the contract a first-class, checkable object: given a
+//! [`MachineConfig`], [`check_conformance`] classifies every modelled
+//! resource and reports violations. The proof harness in `tp-core`
+//! refuses to discharge its obligations for non-conformant machines,
+//! mirroring how the envisioned formal proof would have unmet hardware
+//! assumptions.
+
+use crate::cache::ReplacementPolicy;
+use crate::machine::MachineConfig;
+
+/// How a resource can be made interference-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceClass {
+    /// Spatially partitionable between concurrently-live domains
+    /// (e.g. a physically indexed LLC via page colouring).
+    Partitionable {
+        /// Number of partitions available (e.g. page colours).
+        partitions: usize,
+    },
+    /// Time-shared and resettable to a history-independent state.
+    Flushable,
+    /// Both options available.
+    PartitionableOrFlushable {
+        /// Number of partitions available.
+        partitions: usize,
+    },
+    /// Neither — the contract is violated for this resource.
+    Unprotected,
+}
+
+impl ResourceClass {
+    /// Whether the resource can be protected at all.
+    pub fn is_protected(&self) -> bool {
+        !matches!(self, ResourceClass::Unprotected)
+    }
+}
+
+/// The timing-relevant hardware resources the model contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// L1 instruction cache (core-local, time-shared).
+    L1I,
+    /// L1 data cache (core-local, time-shared).
+    L1D,
+    /// Private L2 (core-local, time-shared).
+    L2,
+    /// Shared last-level cache (concurrently shared).
+    Llc,
+    /// TLB.
+    Tlb,
+    /// Branch predictor.
+    BranchPredictor,
+    /// Prefetcher state machine.
+    Prefetcher,
+    /// The stateless shared interconnect.
+    Interconnect,
+    /// Core-private state shared between hyperthreads when SMT is on.
+    /// §4.1: "no mainstream hardware supports partitioning of hardware
+    /// resources between hyperthreads, and such partitioning would seem
+    /// fundamentally at odds with the concept of hyperthreading".
+    SmtSharedCore,
+}
+
+impl Resource {
+    /// All resources in a fixed order.
+    pub const ALL: [Resource; 9] = [
+        Resource::L1I,
+        Resource::L1D,
+        Resource::L2,
+        Resource::Llc,
+        Resource::Tlb,
+        Resource::BranchPredictor,
+        Resource::Prefetcher,
+        Resource::Interconnect,
+        Resource::SmtSharedCore,
+    ];
+
+    /// Whether the resource is shared *concurrently* (flushing cannot
+    /// protect it; §4.1: "Partitioning is the only option where
+    /// concurrent accesses happen").
+    pub fn concurrently_shared(&self, cores: usize) -> bool {
+        match self {
+            Resource::Llc | Resource::Interconnect => cores > 1,
+            Resource::SmtSharedCore => true,
+            _ => false,
+        }
+    }
+}
+
+/// One classified resource in a conformance report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceVerdict {
+    /// The resource in question.
+    pub resource: Resource,
+    /// Its classification under the contract.
+    pub class: ResourceClass,
+    /// Whether the classification is sufficient given how the resource
+    /// is shared on this machine.
+    pub sufficient: bool,
+}
+
+/// The result of checking a machine against the aISA contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// Verdict per resource.
+    pub verdicts: Vec<ResourceVerdict>,
+    /// Number of cores examined.
+    pub cores: usize,
+}
+
+impl ConformanceReport {
+    /// Whether every resource is sufficiently protected — the hardware
+    /// honours the contract and the §5 proofs can proceed.
+    pub fn conformant(&self) -> bool {
+        self.verdicts.iter().all(|v| v.sufficient)
+    }
+
+    /// Whether the contract holds for everything *except* the stateless
+    /// interconnect — the paper's explicit scope (§2): time protection
+    /// is proved modulo interconnect channels on today's hardware.
+    pub fn conformant_modulo_interconnect(&self) -> bool {
+        self.verdicts
+            .iter()
+            .filter(|v| v.resource != Resource::Interconnect)
+            .all(|v| v.sufficient)
+    }
+
+    /// The resources violating the contract.
+    pub fn violations(&self) -> Vec<Resource> {
+        self.verdicts
+            .iter()
+            .filter(|v| !v.sufficient)
+            .map(|v| v.resource)
+            .collect()
+    }
+}
+
+fn cache_class(policy: ReplacementPolicy, colours: usize) -> ResourceClass {
+    // GlobalRandom replacement couples sets across partition boundaries,
+    // so colouring does not partition it; it remains flushable only.
+    match policy {
+        ReplacementPolicy::Lru | ReplacementPolicy::TreePlru => {
+            if colours > 1 {
+                ResourceClass::PartitionableOrFlushable {
+                    partitions: colours,
+                }
+            } else {
+                ResourceClass::Flushable
+            }
+        }
+        ReplacementPolicy::GlobalRandom => ResourceClass::Flushable,
+    }
+}
+
+/// Classify every resource of `cfg` and check sufficiency.
+pub fn check_conformance(cfg: &MachineConfig) -> ConformanceReport {
+    let mut verdicts = Vec::new();
+    let cores = cfg.cores;
+
+    let mut push = |resource: Resource, class: ResourceClass| {
+        let concurrent = resource.concurrently_shared(cores);
+        let sufficient = match class {
+            ResourceClass::Unprotected => false,
+            ResourceClass::Flushable => !concurrent,
+            ResourceClass::Partitionable { .. }
+            | ResourceClass::PartitionableOrFlushable { .. } => true,
+        };
+        verdicts.push(ResourceVerdict {
+            resource,
+            class,
+            sufficient,
+        });
+    };
+
+    push(
+        Resource::L1I,
+        cache_class(cfg.l1i.policy, cfg.l1i.colours()),
+    );
+    push(
+        Resource::L1D,
+        cache_class(cfg.l1d.policy, cfg.l1d.colours()),
+    );
+    if let Some(l2) = cfg.l2 {
+        push(Resource::L2, cache_class(l2.policy, l2.colours()));
+    }
+    if let Some(llc) = cfg.llc {
+        push(Resource::Llc, cache_class(llc.policy, llc.colours()));
+    }
+    push(Resource::Tlb, ResourceClass::Flushable);
+    push(
+        Resource::BranchPredictor,
+        if cfg.branch_predictor_enabled {
+            ResourceClass::Flushable
+        } else {
+            // A disabled predictor holds no history: trivially protected.
+            ResourceClass::PartitionableOrFlushable {
+                partitions: usize::MAX,
+            }
+        },
+    );
+    push(
+        Resource::Prefetcher,
+        if cfg.prefetcher_enabled {
+            ResourceClass::Flushable
+        } else {
+            ResourceClass::PartitionableOrFlushable {
+                partitions: usize::MAX,
+            }
+        },
+    );
+    // No mainstream hardware partitions the interconnect; MBA throttling
+    // is approximate and does not count (footnote 1 of the paper).
+    push(Resource::Interconnect, ResourceClass::Unprotected);
+
+    // Hyperthreading shares core-private state concurrently with no
+    // partitioning support: flushing is inapplicable (no switch ever
+    // separates the threads in time), so the contract is violated. The
+    // paper's conclusion: multiple hardware threads must never be
+    // allocated to different security domains.
+    if cfg.smt {
+        push(Resource::SmtSharedCore, ResourceClass::Unprotected);
+    }
+
+    ConformanceReport { verdicts, cores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    #[test]
+    fn single_core_is_conformant_modulo_interconnect() {
+        let cfg = MachineConfig::single_core();
+        let rep = check_conformance(&cfg);
+        assert!(rep.conformant_modulo_interconnect());
+        // Full conformance fails only because of the interconnect —
+        // which is harmless with one core, but the classification is
+        // per-resource; with one core the interconnect is not shared.
+        assert_eq!(rep.violations(), vec![Resource::Interconnect]);
+    }
+
+    #[test]
+    fn llc_is_partitionable_via_colours() {
+        let cfg = MachineConfig::single_core();
+        let rep = check_conformance(&cfg);
+        let llc = rep
+            .verdicts
+            .iter()
+            .find(|v| v.resource == Resource::Llc)
+            .unwrap();
+        assert_eq!(
+            llc.class,
+            ResourceClass::PartitionableOrFlushable { partitions: 128 }
+        );
+    }
+
+    #[test]
+    fn global_random_llc_on_multicore_is_insufficient() {
+        // Flush-only LLC + concurrent sharing = contract violation: the
+        // situation §4.1 says only partitioning can fix.
+        let mut cfg = MachineConfig::dual_core();
+        cfg.llc = Some(CacheConfig {
+            policy: crate::cache::ReplacementPolicy::GlobalRandom,
+            ..CacheConfig::llc()
+        });
+        let rep = check_conformance(&cfg);
+        let llc = rep
+            .verdicts
+            .iter()
+            .find(|v| v.resource == Resource::Llc)
+            .unwrap();
+        assert_eq!(llc.class, ResourceClass::Flushable);
+        assert!(!llc.sufficient);
+        assert!(!rep.conformant_modulo_interconnect());
+    }
+
+    #[test]
+    fn dual_core_interconnect_is_the_residual_violation() {
+        let rep = check_conformance(&MachineConfig::dual_core());
+        assert!(
+            !rep.conformant(),
+            "stateless interconnect cannot be protected (§2)"
+        );
+        assert!(rep.conformant_modulo_interconnect());
+        assert!(rep.violations().contains(&Resource::Interconnect));
+    }
+
+    #[test]
+    fn small_caches_are_flush_only() {
+        let rep = check_conformance(&MachineConfig::tiny());
+        let l1d = rep
+            .verdicts
+            .iter()
+            .find(|v| v.resource == Resource::L1D)
+            .unwrap();
+        assert_eq!(
+            l1d.class,
+            ResourceClass::Flushable,
+            "tiny L1 has one colour"
+        );
+        assert!(l1d.sufficient, "time-shared: flushing suffices");
+    }
+
+    #[test]
+    fn disabled_predictor_is_trivially_protected() {
+        let mut cfg = MachineConfig::tiny();
+        cfg.branch_predictor_enabled = false;
+        cfg.prefetcher_enabled = false;
+        let rep = check_conformance(&cfg);
+        for r in [Resource::BranchPredictor, Resource::Prefetcher] {
+            let v = rep.verdicts.iter().find(|v| v.resource == r).unwrap();
+            assert!(v.sufficient);
+        }
+    }
+
+    #[test]
+    fn smt_violates_the_contract() {
+        let mut cfg = MachineConfig::single_core();
+        cfg.smt = true;
+        let rep = check_conformance(&cfg);
+        assert!(
+            !rep.conformant_modulo_interconnect(),
+            "SMT must break the contract"
+        );
+        assert!(rep.violations().contains(&Resource::SmtSharedCore));
+        // Without SMT the resource is not even listed.
+        cfg.smt = false;
+        let rep = check_conformance(&cfg);
+        assert!(rep
+            .verdicts
+            .iter()
+            .all(|v| v.resource != Resource::SmtSharedCore));
+    }
+
+    #[test]
+    fn resource_class_predicates() {
+        assert!(ResourceClass::Flushable.is_protected());
+        assert!(!ResourceClass::Unprotected.is_protected());
+        assert!(Resource::Llc.concurrently_shared(2));
+        assert!(!Resource::Llc.concurrently_shared(1));
+        assert!(!Resource::L1D.concurrently_shared(8));
+    }
+}

@@ -1,0 +1,177 @@
+//! Security domains and their observations.
+//!
+//! §2: "a security domain refers to a subset of the system which is
+//! treated as an opaque unit by the system's security policy. In OS
+//! terms, a domain consists of one or more (cooperating) processes."
+//! Our domains each run one deterministic [`Program`] in a private
+//! [`VSpace`], under a per-domain slice/padding budget and a private set
+//! of cache colours and interrupt lines.
+//!
+//! The [`Observation`] log records exactly what the domain's program can
+//! architecturally see: clock reads, IPC deliveries, faults and its own
+//! halting. Noninterference (§5.2) is stated over these logs: a Lo
+//! domain's observation sequence must be identical across all Hi secrets.
+
+use crate::program::{Program, StepFeedback};
+use crate::vspace::VSpace;
+use tp_hw::types::{Asid, Colour, Cycles, DomainTag, VAddr};
+
+/// Index of a domain within the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub usize);
+
+impl DomainId {
+    /// The ghost tag for this domain.
+    pub fn tag(self) -> DomainTag {
+        DomainTag(self.0 as u16)
+    }
+}
+
+/// Scheduling state of a domain's (single) thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomState {
+    /// Ready to execute.
+    Runnable,
+    /// Blocked in `Recv` on an endpoint.
+    BlockedRecv {
+        /// Endpoint index.
+        ep: usize,
+    },
+    /// Executed `Halt`; idles for its remaining slices.
+    Halted,
+}
+
+/// One event a domain's program can architecturally observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// Result of a `ReadClock`.
+    Clock(Cycles),
+    /// A message delivery: payload and the clock at delivery.
+    IpcRecv {
+        /// Payload.
+        msg: u64,
+        /// Receiver's clock at delivery.
+        at: Cycles,
+    },
+    /// The program's access faulted (it sees the fault kind, not the
+    /// kernel's internals).
+    Fault,
+    /// The program halted.
+    Halted,
+}
+
+/// The full observation log of one domain.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Observation {
+    /// Events in program order.
+    pub events: Vec<ObsEvent>,
+}
+
+impl Observation {
+    /// Clock values observed, in order.
+    pub fn clocks(&self) -> Vec<Cycles> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::Clock(c) => Some(*c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// IPC deliveries observed, in order.
+    pub fn ipc_recvs(&self) -> Vec<(u64, Cycles)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::IpcRecv { msg, at } => Some((*msg, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A security domain.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Kernel-assigned identity.
+    pub id: DomainId,
+    /// Address-space identifier.
+    pub asid: Asid,
+    /// The domain's address space.
+    pub vspace: VSpace,
+    /// Index into the kernel's image table (0 = the shared image).
+    pub kimage: usize,
+    /// Cache colours this domain may occupy.
+    pub colours: Vec<Colour>,
+    /// Time-slice length.
+    pub slice: Cycles,
+    /// Switch padding: the next domain starts no earlier than
+    /// `slice_start + slice + pad` (§4.2; an attribute of the
+    /// switched-*from* domain, set by the system designer).
+    pub pad: Cycles,
+    /// Interrupt lines owned by this domain.
+    pub irq_lines: Vec<u8>,
+    /// The program.
+    pub program: Box<dyn Program>,
+    /// Optional interim process (§4.3): executed during this domain's
+    /// switch padding instead of busy-looping, reclaiming otherwise
+    /// wasted cycles. Its microarchitectural effects are flushed before
+    /// the next domain starts, so it cannot leak.
+    pub pad_filler: Option<Box<dyn Program>>,
+    /// How long before the padded switch target the filler must be
+    /// preempted ("early enough to allow the kernel to switch domains
+    /// without exceeding the pad time", §4.3). Must cover the flush
+    /// WCET plus one filler instruction.
+    pub filler_margin: Cycles,
+    /// Current program counter.
+    pub pc: VAddr,
+    /// Scheduling state.
+    pub state: DomState,
+    /// Feedback pending for the next program step.
+    pub feedback: StepFeedback,
+    /// Everything the program has observed.
+    pub obs: Observation,
+    /// Number of instructions retired (diagnostics).
+    pub retired: u64,
+}
+
+impl Domain {
+    /// The ghost tag for this domain.
+    pub fn tag(&self) -> DomainTag {
+        self.id.tag()
+    }
+
+    /// Whether the domain can execute an instruction right now.
+    pub fn runnable(&self) -> bool {
+        matches!(self.state, DomState::Runnable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_filters() {
+        let obs = Observation {
+            events: vec![
+                ObsEvent::Clock(Cycles(5)),
+                ObsEvent::IpcRecv {
+                    msg: 7,
+                    at: Cycles(9),
+                },
+                ObsEvent::Fault,
+                ObsEvent::Clock(Cycles(11)),
+                ObsEvent::Halted,
+            ],
+        };
+        assert_eq!(obs.clocks(), vec![Cycles(5), Cycles(11)]);
+        assert_eq!(obs.ipc_recvs(), vec![(7, Cycles(9))]);
+    }
+
+    #[test]
+    fn domain_tag_matches_id() {
+        assert_eq!(DomainId(3).tag(), DomainTag(3));
+    }
+}

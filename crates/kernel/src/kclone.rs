@@ -1,0 +1,386 @@
+//! Kernel images and the clone mechanism (§4.2).
+//!
+//! "As even read-only sharing of code is sufficient for creating a
+//! channel, we also colour the kernel image. This is achieved by a
+//! policy-free kernel clone mechanism, which allows setting up a
+//! domain-private kernel image in coloured memory."
+//!
+//! A [`KernelImage`] is a set of modelled frames holding kernel text and
+//! per-image data. Every kernel entry (trap, syscall, domain switch)
+//! touches a *deterministic* physical footprint derived from the image —
+//! this reproduces the Case-2a argument of §5.2: with a cloned image the
+//! footprint lies in the domain's own colours; with a shared image it
+//! occupies shared cache sets that a Flush+Reload-style probe can watch
+//! (experiment E6).
+//!
+//! Global kernel data (scheduler queues, endpoint state) is *not* cloned;
+//! it lives in kernel-reserved colours and is "accessed deterministically"
+//! (§5.2), which the proof harness checks.
+
+use crate::program::SyscallReq;
+use tp_hw::types::{PAddr, LINE_SIZE};
+
+/// Frames of kernel text per image.
+pub const KTEXT_FRAMES: usize = 4;
+/// Frames of per-image kernel data.
+pub const KDATA_FRAMES: usize = 1;
+/// Frames of global (shared, never cloned) kernel data.
+pub const KGLOBAL_FRAMES: usize = 1;
+
+/// A single kernel memory access in a handler footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KAccess {
+    /// Physical address touched.
+    pub paddr: PAddr,
+    /// Store?
+    pub write: bool,
+    /// Instruction fetch (goes through the L1I)?
+    pub fetch: bool,
+}
+
+/// Kernel operations with modelled footprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelOp {
+    /// Trap entry/exit path (every kernel entry pays this).
+    Entry,
+    /// A specific system call's handler.
+    Syscall(SyscallKind),
+    /// The domain-switch path (scheduler + context switch).
+    Switch,
+    /// Interrupt dispatch (on top of `Entry`).
+    IrqDispatch,
+}
+
+/// Coarse classification of syscalls for footprint purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallKind {
+    /// `Send`.
+    Send,
+    /// `Recv`.
+    Recv,
+    /// `IoSubmit`.
+    Io,
+    /// `Yield` / `Null`.
+    Light,
+    /// `MapPage` / `UnmapPage` (memory management).
+    Mm,
+}
+
+impl SyscallKind {
+    /// Classify a request.
+    pub fn of(req: &SyscallReq) -> SyscallKind {
+        match req {
+            SyscallReq::Send { .. } => SyscallKind::Send,
+            SyscallReq::Recv { .. } => SyscallKind::Recv,
+            SyscallReq::IoSubmit { .. } => SyscallKind::Io,
+            SyscallReq::Yield | SyscallReq::Null => SyscallKind::Light,
+            SyscallReq::MapPage { .. } | SyscallReq::UnmapPage { .. } => SyscallKind::Mm,
+        }
+    }
+
+    fn handler_index(self) -> u64 {
+        match self {
+            SyscallKind::Send => 0,
+            SyscallKind::Recv => 1,
+            SyscallKind::Io => 2,
+            SyscallKind::Light => 3,
+            SyscallKind::Mm => 4,
+        }
+    }
+}
+
+/// A kernel image: text and data frames plus footprint generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelImage {
+    /// Frames holding kernel text, in layout order.
+    pub text_frames: Vec<u64>,
+    /// Frames holding per-image kernel data.
+    pub data_frames: Vec<u64>,
+}
+
+impl KernelImage {
+    /// Build an image over pre-allocated frames.
+    ///
+    /// # Panics
+    /// Panics if the frame counts do not match
+    /// [`KTEXT_FRAMES`]/[`KDATA_FRAMES`].
+    pub fn new(text_frames: Vec<u64>, data_frames: Vec<u64>) -> Self {
+        assert_eq!(text_frames.len(), KTEXT_FRAMES, "kernel text frame count");
+        assert_eq!(data_frames.len(), KDATA_FRAMES, "kernel data frame count");
+        KernelImage {
+            text_frames,
+            data_frames,
+        }
+    }
+
+    /// All frames of the image.
+    pub fn frames(&self) -> impl Iterator<Item = u64> + '_ {
+        self.text_frames
+            .iter()
+            .chain(self.data_frames.iter())
+            .copied()
+    }
+
+    fn text_line(&self, line_index: u64) -> PAddr {
+        let lines_per_frame = tp_hw::types::PAGE_SIZE / LINE_SIZE;
+        let frame = self.text_frames[(line_index / lines_per_frame) as usize % KTEXT_FRAMES];
+        PAddr::from_pfn(frame, (line_index % lines_per_frame) * LINE_SIZE)
+    }
+
+    fn data_line(&self, line_index: u64) -> PAddr {
+        let lines_per_frame = tp_hw::types::PAGE_SIZE / LINE_SIZE;
+        let frame = self.data_frames[(line_index / lines_per_frame) as usize % KDATA_FRAMES];
+        PAddr::from_pfn(frame, (line_index % lines_per_frame) * LINE_SIZE)
+    }
+
+    /// The deterministic footprint of `op` within this image.
+    ///
+    /// Footprints depend only on `op` — never on user state or secrets —
+    /// which is the "accessed deterministically" premise of §5.2.
+    pub fn footprint(&self, op: KernelOp) -> Vec<KAccess> {
+        let mut out = Vec::new();
+        let fetch = |out: &mut Vec<KAccess>, lines: core::ops::Range<u64>| {
+            for l in lines {
+                out.push(KAccess {
+                    paddr: self.text_line(l),
+                    write: false,
+                    fetch: true,
+                });
+            }
+        };
+        match op {
+            KernelOp::Entry => {
+                // Trap vector + entry/exit stubs: text lines 0..4,
+                // plus saving context to per-image data.
+                fetch(&mut out, 0..4);
+                out.push(KAccess {
+                    paddr: self.data_line(0),
+                    write: true,
+                    fetch: false,
+                });
+            }
+            KernelOp::Syscall(kind) => {
+                let h = kind.handler_index();
+                // Handler bodies live at distinct, fixed text ranges.
+                fetch(&mut out, 16 + h * 8..16 + h * 8 + 6);
+                out.push(KAccess {
+                    paddr: self.data_line(1 + h),
+                    write: false,
+                    fetch: false,
+                });
+                out.push(KAccess {
+                    paddr: self.data_line(1 + h),
+                    write: true,
+                    fetch: false,
+                });
+            }
+            KernelOp::Switch => {
+                fetch(&mut out, 56..62);
+                out.push(KAccess {
+                    paddr: self.data_line(8),
+                    write: true,
+                    fetch: false,
+                });
+            }
+            KernelOp::IrqDispatch => {
+                fetch(&mut out, 64..69);
+                out.push(KAccess {
+                    paddr: self.data_line(9),
+                    write: true,
+                    fetch: false,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Global kernel data: scheduler queues, endpoint state. Shared by all
+/// images; lives in kernel-reserved colours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalKernelData {
+    /// Frames holding the global structures.
+    pub frames: Vec<u64>,
+}
+
+impl GlobalKernelData {
+    /// Build over pre-allocated frames.
+    ///
+    /// # Panics
+    /// Panics if the frame count does not match [`KGLOBAL_FRAMES`].
+    pub fn new(frames: Vec<u64>) -> Self {
+        assert_eq!(
+            frames.len(),
+            KGLOBAL_FRAMES,
+            "global kernel data frame count"
+        );
+        GlobalKernelData { frames }
+    }
+
+    /// Deterministic global-data footprint of `op` (scheduler state on
+    /// switches, endpoint state on IPC, IRQ table on dispatch).
+    pub fn footprint(&self, op: KernelOp) -> Vec<KAccess> {
+        let line = |i: u64| PAddr::from_pfn(self.frames[0], (i % 64) * LINE_SIZE);
+        match op {
+            KernelOp::Entry => vec![KAccess {
+                paddr: line(0),
+                write: false,
+                fetch: false,
+            }],
+            KernelOp::Syscall(SyscallKind::Send) | KernelOp::Syscall(SyscallKind::Recv) => vec![
+                KAccess {
+                    paddr: line(1),
+                    write: false,
+                    fetch: false,
+                },
+                KAccess {
+                    paddr: line(1),
+                    write: true,
+                    fetch: false,
+                },
+            ],
+            KernelOp::Syscall(SyscallKind::Io) => {
+                vec![KAccess {
+                    paddr: line(2),
+                    write: true,
+                    fetch: false,
+                }]
+            }
+            KernelOp::Syscall(SyscallKind::Light) => Vec::new(),
+            // Memory management touches the global frame-allocator state.
+            KernelOp::Syscall(SyscallKind::Mm) => vec![
+                KAccess {
+                    paddr: line(6),
+                    write: false,
+                    fetch: false,
+                },
+                KAccess {
+                    paddr: line(6),
+                    write: true,
+                    fetch: false,
+                },
+            ],
+            KernelOp::Switch => vec![
+                KAccess {
+                    paddr: line(3),
+                    write: false,
+                    fetch: false,
+                },
+                KAccess {
+                    paddr: line(3),
+                    write: true,
+                    fetch: false,
+                },
+                KAccess {
+                    paddr: line(4),
+                    write: true,
+                    fetch: false,
+                },
+            ],
+            KernelOp::IrqDispatch => vec![KAccess {
+                paddr: line(5),
+                write: false,
+                fetch: false,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(base: u64) -> KernelImage {
+        KernelImage::new(
+            (base..base + KTEXT_FRAMES as u64).collect(),
+            (base + 10..base + 10 + KDATA_FRAMES as u64).collect(),
+        )
+    }
+
+    #[test]
+    fn footprints_are_deterministic() {
+        let img = image(0);
+        assert_eq!(
+            img.footprint(KernelOp::Entry),
+            img.footprint(KernelOp::Entry)
+        );
+        assert_eq!(
+            img.footprint(KernelOp::Syscall(SyscallKind::Send)),
+            img.footprint(KernelOp::Syscall(SyscallKind::Send)),
+        );
+    }
+
+    #[test]
+    fn different_ops_have_different_footprints() {
+        let img = image(0);
+        let e = img.footprint(KernelOp::Entry);
+        let s = img.footprint(KernelOp::Switch);
+        assert_ne!(e, s);
+        let send = img.footprint(KernelOp::Syscall(SyscallKind::Send));
+        let recv = img.footprint(KernelOp::Syscall(SyscallKind::Recv));
+        assert_ne!(send, recv, "distinct handlers live at distinct text");
+    }
+
+    #[test]
+    fn cloned_image_has_disjoint_footprint() {
+        let a = image(0);
+        let b = image(100);
+        let fa: Vec<_> = a
+            .footprint(KernelOp::Entry)
+            .iter()
+            .map(|k| k.paddr)
+            .collect();
+        let fb: Vec<_> = b
+            .footprint(KernelOp::Entry)
+            .iter()
+            .map(|k| k.paddr)
+            .collect();
+        for p in &fa {
+            assert!(!fb.contains(p), "clone must not share frames");
+        }
+        // Same *structure* though: offsets within the image are identical.
+        assert_eq!(fa.len(), fb.len());
+        for (x, y) in fa.iter().zip(fb.iter()) {
+            assert_eq!(x.page_offset(), y.page_offset());
+        }
+    }
+
+    #[test]
+    fn entry_fetches_through_icache() {
+        let img = image(0);
+        let fp = img.footprint(KernelOp::Entry);
+        assert!(
+            fp.iter().any(|k| k.fetch),
+            "entry path executes kernel text"
+        );
+        assert!(fp.iter().any(|k| k.write && !k.fetch), "and saves context");
+    }
+
+    #[test]
+    fn syscall_footprints_depend_only_on_kind() {
+        assert_eq!(
+            SyscallKind::of(&SyscallReq::Send { ep: 0, msg: 1 }),
+            SyscallKind::of(&SyscallReq::Send { ep: 9, msg: 42 }),
+            "payload must not change the kernel footprint"
+        );
+    }
+
+    #[test]
+    fn global_data_paths() {
+        let g = GlobalKernelData::new(vec![50]);
+        assert!(!g.footprint(KernelOp::Switch).is_empty());
+        assert!(g
+            .footprint(KernelOp::Syscall(SyscallKind::Light))
+            .is_empty());
+        for k in g.footprint(KernelOp::Switch) {
+            assert_eq!(k.paddr.pfn(), 50);
+            assert!(!k.fetch, "global data is data, not text");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel text frame count")]
+    fn wrong_frame_count_rejected() {
+        KernelImage::new(vec![1], vec![2]);
+    }
+}

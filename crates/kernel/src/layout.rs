@@ -1,0 +1,44 @@
+//! Fixed virtual-memory layout for domain programs.
+//!
+//! Every domain sees the same virtual layout (as processes do under any
+//! sane OS): code at [`CODE_BASE`], private data at [`DATA_BASE`]. The
+//! *physical* placement behind these windows is what time protection is
+//! about — the kernel backs them with frames from the domain's colours.
+
+use tp_hw::types::{VAddr, PAGE_BITS};
+
+/// Base virtual address of a domain's code.
+pub const CODE_BASE: VAddr = VAddr(0x1000_0000);
+
+/// Base virtual address of a domain's private data.
+pub const DATA_BASE: VAddr = VAddr(0x2000_0000);
+
+/// Virtual page number of [`CODE_BASE`].
+pub const CODE_VPN: u64 = CODE_BASE.0 >> PAGE_BITS;
+
+/// Virtual page number of [`DATA_BASE`].
+pub const DATA_VPN: u64 = DATA_BASE.0 >> PAGE_BITS;
+
+/// The `i`-th byte of the domain's data window.
+pub fn data_addr(offset: u64) -> VAddr {
+    VAddr(DATA_BASE.0 + offset)
+}
+
+/// The `i`-th byte of the domain's code window.
+pub fn code_addr(offset: u64) -> VAddr {
+    VAddr(CODE_BASE.0 + offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_do_not_overlap() {
+        assert!(CODE_BASE.0 + (1 << 20) <= DATA_BASE.0);
+        assert_eq!(data_addr(0x40), VAddr(0x2000_0040));
+        assert_eq!(code_addr(4), VAddr(0x1000_0004));
+        assert_eq!(CODE_VPN, 0x10000);
+        assert_eq!(DATA_VPN, 0x20000);
+    }
+}

@@ -1,0 +1,56 @@
+//! # tp-kernel — an seL4-style kernel substrate with time protection
+//!
+//! This crate models the OS side of *"Can We Prove Time Protection?"*
+//! (HotOS 2019): a small time- and space-partitioning kernel in the style
+//! of the seL4 time-protection branch of Ge et al. (EuroSys'19):
+//!
+//! * **Page-colouring frame allocation** ([`colour`]) partitions the
+//!   shared LLC between domains (§4.1).
+//! * **Kernel clone** ([`kclone`]) gives each domain a private kernel
+//!   image in its own colours, because even read-only sharing of kernel
+//!   text is a channel (§4.2).
+//! * **Padded domain switches** ([`kernel`]) flush all time-shared
+//!   microarchitectural state and pad the switch to
+//!   `slice + pad`, hiding the history-dependent flush latency (§4.2).
+//! * **Interrupt partitioning** masks every line not owned by the
+//!   running domain (§4.2).
+//! * **Deterministic IPC delivery** ([`ipc`]) erases send instants per
+//!   Cock et al. (2014) (§3.2).
+//!
+//! Each mechanism can be disabled independently ([`config`]), which the
+//! proof harness and the ablation experiment (E11) exploit.
+//!
+//! ## Example
+//!
+//! ```
+//! use tp_hw::machine::MachineConfig;
+//! use tp_kernel::config::{DomainSpec, KernelConfig};
+//! use tp_kernel::program::IdleProgram;
+//! use tp_kernel::kernel::System;
+//!
+//! let kcfg = KernelConfig::new(vec![
+//!     DomainSpec::new(Box::new(IdleProgram)),
+//!     DomainSpec::new(Box::new(IdleProgram)),
+//! ]);
+//! let mut sys = System::new(MachineConfig::tiny(), kcfg).unwrap();
+//! sys.run_steps(100);
+//! assert!(sys.now().0 > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod colour;
+pub mod config;
+pub mod domain;
+pub mod ipc;
+pub mod kclone;
+pub mod kernel;
+pub mod layout;
+pub mod program;
+pub mod vspace;
+
+pub use config::{DomainSpec, KernelConfig, Mechanism, TimeProtConfig};
+pub use domain::{DomState, Domain, DomainId, ObsEvent, Observation};
+pub use kernel::{KernelError, StepEvent, SwitchReason, SwitchRecord, System};
+pub use program::{Instr, Program, StepFeedback, SyscallReq, TraceProgram};

@@ -1,0 +1,237 @@
+//! The user-program model.
+//!
+//! Domains execute *programs*: deterministic state machines that emit one
+//! [`Instr`] at a time and receive [`StepFeedback`] about the previous
+//! instruction (clock reads, IPC deliveries, faults). This is the
+//! simulator's analogue of user-mode machine code. Determinism matters:
+//! the noninterference checker re-runs systems from identical initial
+//! states and compares observable traces, which is only meaningful if
+//! programs have no hidden entropy.
+//!
+//! Attack programs (in `tp-attacks`) implement [`Program`] with internal
+//! state machines; this module provides the trait, a script-style
+//! [`TraceProgram`] for tests, and the spinning [`IdleProgram`].
+
+use tp_hw::types::{Cycles, Fault, VAddr};
+
+/// A system-call request issued by a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallReq {
+    /// Send `msg` to endpoint `ep`; blocks until the message is accepted
+    /// into the endpoint queue (immediate in this model).
+    Send {
+        /// Endpoint index.
+        ep: usize,
+        /// Payload word.
+        msg: u64,
+    },
+    /// Receive from endpoint `ep`; blocks until a message is deliverable.
+    Recv {
+        /// Endpoint index.
+        ep: usize,
+    },
+    /// Submit an I/O operation whose completion raises `line` after
+    /// `delay` cycles — the Trojan's tool in the E5 interrupt channel.
+    IoSubmit {
+        /// Interrupt line to raise on completion.
+        line: u8,
+        /// Device latency in cycles.
+        delay: u64,
+    },
+    /// Voluntarily end the domain's current slice.
+    Yield,
+    /// Enter and exit the kernel without further effect (a `seL4_Yield`
+    /// -like null round trip; exercises the Case-2a kernel path).
+    Null,
+    /// Map a fresh writable page at virtual page `vpn`, backed by a
+    /// frame from the calling domain's own colours. Silently a no-op if
+    /// the page is already mapped or no coloured frame is available.
+    MapPage {
+        /// Virtual page number to map.
+        vpn: u64,
+    },
+    /// Unmap the page at `vpn`, returning its frame to the domain's
+    /// colour pool and invalidating the TLB entry (the §5.3 consistency
+    /// obligation: a stale entry here would be both a correctness and a
+    /// timing bug).
+    UnmapPage {
+        /// Virtual page number to unmap.
+        vpn: u64,
+    },
+}
+
+/// One modelled user-mode instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Load from a virtual address.
+    Load(VAddr),
+    /// Store to a virtual address.
+    Store(VAddr),
+    /// A conditional branch: resolved `taken`, jumping to `target`.
+    Branch {
+        /// Whether the branch is taken.
+        taken: bool,
+        /// Branch target (the new PC if taken).
+        target: VAddr,
+    },
+    /// Pure computation costing `units` of architecturally fixed work.
+    Compute(u64),
+    /// Read the cycle counter; the value arrives in the next feedback.
+    ReadClock,
+    /// Trap into the kernel.
+    Syscall(SyscallReq),
+    /// Stop executing; the domain idles for its remaining slices.
+    Halt,
+}
+
+/// An IPC message delivered to a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpcDelivery {
+    /// Payload word.
+    pub msg: u64,
+    /// The receiver's clock at delivery.
+    pub at: Cycles,
+}
+
+/// Feedback about the previously executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepFeedback {
+    /// Clock value if the previous instruction was [`Instr::ReadClock`].
+    pub clock: Option<Cycles>,
+    /// Message if a pending `Recv` completed.
+    pub ipc: Option<IpcDelivery>,
+    /// Fault raised by the previous instruction, if any. The kernel
+    /// delivers the fault instead of crashing the domain, so attack
+    /// programs can probe address-space boundaries.
+    pub fault: Option<Fault>,
+}
+
+/// A deterministic user program.
+///
+/// Implementors must be deterministic: the same sequence of feedback
+/// values must produce the same sequence of instructions. All interesting
+/// behaviour (secret-dependent access patterns, probe loops) lives in
+/// implementations of this trait.
+pub trait Program: ProgramClone + core::fmt::Debug {
+    /// Produce the next instruction given feedback about the last one.
+    fn next(&mut self, feedback: &StepFeedback) -> Instr;
+}
+
+/// Object-safe clone support for `Box<dyn Program>`.
+///
+/// The noninterference checker clones whole systems to replay them with
+/// different secrets, so programs must be cloneable through the trait
+/// object. Implemented automatically for every `Clone` program.
+pub trait ProgramClone {
+    /// Clone into a fresh box.
+    fn clone_box(&self) -> Box<dyn Program>;
+}
+
+impl<T> ProgramClone for T
+where
+    T: 'static + Program + Clone,
+{
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Program> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A program that replays a fixed instruction list, then halts.
+///
+/// The workhorse of unit tests and simple workloads.
+#[derive(Debug, Clone, Default)]
+pub struct TraceProgram {
+    instrs: Vec<Instr>,
+    pos: usize,
+    /// Clock values observed via `ReadClock`, in order (for assertions).
+    pub observed_clocks: Vec<Cycles>,
+}
+
+impl TraceProgram {
+    /// Create from an instruction list.
+    pub fn new(instrs: Vec<Instr>) -> Self {
+        TraceProgram {
+            instrs,
+            pos: 0,
+            observed_clocks: Vec::new(),
+        }
+    }
+
+    /// Convenience: a program touching each address in `addrs` once.
+    pub fn loads(addrs: impl IntoIterator<Item = u64>) -> Self {
+        TraceProgram::new(addrs.into_iter().map(|a| Instr::Load(VAddr(a))).collect())
+    }
+}
+
+impl Program for TraceProgram {
+    fn next(&mut self, feedback: &StepFeedback) -> Instr {
+        if let Some(c) = feedback.clock {
+            self.observed_clocks.push(c);
+        }
+        let i = self.instrs.get(self.pos).copied().unwrap_or(Instr::Halt);
+        self.pos += 1;
+        i
+    }
+}
+
+/// A program that computes forever (1 unit per step). Used to fill
+/// domains whose activity is irrelevant to an experiment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdleProgram;
+
+impl Program for IdleProgram {
+    fn next(&mut self, _feedback: &StepFeedback) -> Instr {
+        Instr::Compute(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_program_replays_then_halts() {
+        let mut p = TraceProgram::new(vec![Instr::Compute(1), Instr::ReadClock]);
+        let fb = StepFeedback::default();
+        assert_eq!(p.next(&fb), Instr::Compute(1));
+        assert_eq!(p.next(&fb), Instr::ReadClock);
+        assert_eq!(p.next(&fb), Instr::Halt);
+        assert_eq!(p.next(&fb), Instr::Halt);
+    }
+
+    #[test]
+    fn trace_program_records_clock_feedback() {
+        let mut p = TraceProgram::new(vec![Instr::ReadClock, Instr::ReadClock]);
+        p.next(&StepFeedback::default());
+        p.next(&StepFeedback {
+            clock: Some(Cycles(55)),
+            ..Default::default()
+        });
+        p.next(&StepFeedback {
+            clock: Some(Cycles(99)),
+            ..Default::default()
+        });
+        assert_eq!(p.observed_clocks, vec![Cycles(55), Cycles(99)]);
+    }
+
+    #[test]
+    fn boxed_programs_clone() {
+        let p: Box<dyn Program> = Box::new(TraceProgram::loads([0x1000, 0x2000]));
+        let mut q = p.clone();
+        assert_eq!(q.next(&StepFeedback::default()), Instr::Load(VAddr(0x1000)));
+    }
+
+    #[test]
+    fn idle_spins() {
+        let mut p = IdleProgram;
+        for _ in 0..3 {
+            assert_eq!(p.next(&StepFeedback::default()), Instr::Compute(1));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the kernel substrate: allocator soundness,
+//! address-space containment, schedule determinism and the padding grid.
+
+use proptest::prelude::*;
+
+use tp_hw::machine::MachineConfig;
+use tp_hw::mem::PhysMem;
+use tp_hw::types::{Colour, Cycles, DomainTag};
+use tp_kernel::colour::ColourAllocator;
+use tp_kernel::config::{DomainSpec, KernelConfig, TimeProtConfig};
+use tp_kernel::kernel::{SwitchReason, System};
+use tp_kernel::layout::data_addr;
+use tp_kernel::program::{IdleProgram, Instr, TraceProgram};
+
+proptest! {
+    /// Every frame the allocator hands out has the requested colour, is
+    /// marked owned, and is never handed out twice (without a release).
+    #[test]
+    fn allocator_soundness(
+        requests in prop::collection::vec((0u16..8, 0u16..3), 1..120),
+    ) {
+        let mut alloc = ColourAllocator::new(256, 8, 0);
+        let mut mem = PhysMem::new(256);
+        let mut seen = std::collections::HashSet::new();
+        for (colour, owner) in requests {
+            match alloc.alloc_coloured(&mut mem, Colour(colour), DomainTag(owner)) {
+                Ok(pfn) => {
+                    prop_assert_eq!(pfn % 8, colour as u64);
+                    prop_assert!(seen.insert(pfn), "frame {} double-allocated", pfn);
+                    prop_assert_eq!(
+                        mem.owner_of(tp_hw::types::PAddr::from_pfn(pfn, 0)),
+                        Some(DomainTag(owner))
+                    );
+                }
+                Err(_) => {
+                    // Exhaustion is acceptable; 32 frames per colour.
+                    prop_assert!(alloc.free_in(Colour(colour)) == 0);
+                }
+            }
+        }
+    }
+
+    /// Alloc/release round-trips conserve the free count.
+    #[test]
+    fn allocator_release_conserves(
+        rounds in prop::collection::vec(0u16..8, 1..60),
+    ) {
+        let mut alloc = ColourAllocator::new(64, 8, 0);
+        let mut mem = PhysMem::new(64);
+        let total: usize = (0..8).map(|c| alloc.free_in(Colour(c))).sum();
+        for colour in rounds {
+            if let Ok(pfn) = alloc.alloc_coloured(&mut mem, Colour(colour), DomainTag(0)) {
+                alloc.release(&mut mem, pfn);
+            }
+            let now: usize = (0..8).map(|c| alloc.free_in(Colour(c))).sum();
+            prop_assert_eq!(now, total);
+        }
+    }
+
+    /// Under full protection, every frame of every domain (code, data,
+    /// page tables, kernel clone) has a colour from that domain's set —
+    /// across arbitrary domain counts and sizes.
+    #[test]
+    fn system_construction_respects_colours(
+        sizes in prop::collection::vec((1u64..6, 1u64..10), 1..4),
+    ) {
+        let domains: Vec<DomainSpec> = sizes
+            .iter()
+            .map(|(code, data)| {
+                DomainSpec::new(Box::new(IdleProgram))
+                    .with_code_pages(*code)
+                    .with_data_pages(*data)
+            })
+            .collect();
+        let kcfg = KernelConfig::new(domains);
+        let sys = System::new(MachineConfig::single_core(), kcfg).unwrap();
+        let colours = sys.hw.config().llc.unwrap().colours() as u64;
+        for (pfn, info) in sys.hw.mem.iter() {
+            if let Some(owner) = info.owner {
+                let colour = Colour((pfn % colours) as u16);
+                let allowed = if owner == DomainTag::KERNEL {
+                    sys.kernel.kernel_colours.contains(&colour)
+                } else {
+                    sys.kernel.colour_assignment[owner.0 as usize].contains(&colour)
+                };
+                prop_assert!(allowed, "frame {} of {} has colour {:?}", pfn, owner, colour);
+            }
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The padded slice grid is arithmetic regardless of what programs
+    /// do: timer-switch completions land at exact multiples.
+    #[test]
+    fn padding_grid_is_arithmetic(
+        stores in 0u64..120,
+        computes in 0u64..60,
+    ) {
+        let prog = TraceProgram::new(
+            (0..stores)
+                .map(|i| Instr::Store(data_addr(i * 64 % (8 * 4096))))
+                .chain((0..computes).map(|u| Instr::Compute(u % 50 + 1)))
+                .collect(),
+        );
+        let kcfg = KernelConfig::new(vec![
+            DomainSpec::new(Box::new(prog)).with_slice(Cycles(40_000)).with_pad(Cycles(40_000)),
+            DomainSpec::new(Box::new(IdleProgram)).with_slice(Cycles(40_000)).with_pad(Cycles(40_000)),
+        ]);
+        let mut sys = System::new(MachineConfig::single_core(), kcfg).unwrap();
+        sys.run_cycles(Cycles(500_000), 400_000);
+        for (k, rec) in sys
+            .kernel
+            .switch_log
+            .iter()
+            .filter(|r| r.reason == SwitchReason::Timer)
+            .enumerate()
+        {
+            prop_assert_eq!(rec.completed_at.0, (k as u64 + 1) * 80_000);
+            prop_assert_eq!(rec.overrun, None);
+        }
+        prop_assert!(sys.kernel.switch_log.len() >= 3);
+    }
+
+    /// Replay determinism for arbitrary programs: the whole system is a
+    /// pure function of its configuration.
+    #[test]
+    fn system_replay_determinism(
+        instrs in prop::collection::vec(0u8..5, 1..80),
+        tp_on in any::<bool>(),
+    ) {
+        let prog = TraceProgram::new(
+            instrs
+                .iter()
+                .enumerate()
+                .map(|(i, k)| match k {
+                    0 => Instr::Load(data_addr((i as u64 * 64) % (4 * 4096))),
+                    1 => Instr::Store(data_addr((i as u64 * 128) % (4 * 4096))),
+                    2 => Instr::Compute(i as u64 % 30 + 1),
+                    3 => Instr::ReadClock,
+                    _ => Instr::Branch {
+                        taken: i % 2 == 0,
+                        target: tp_kernel::layout::code_addr((i as u64 * 4) % 4096),
+                    },
+                })
+                .collect(),
+        );
+        let tp = if tp_on { TimeProtConfig::full() } else { TimeProtConfig::off() };
+        let run = || {
+            let kcfg = KernelConfig::new(vec![
+                DomainSpec::new(Box::new(prog.clone())),
+                DomainSpec::new(Box::new(IdleProgram)),
+            ])
+            .with_tp(tp);
+            let mut sys = System::new(MachineConfig::single_core(), kcfg).unwrap();
+            sys.run_cycles(Cycles(200_000), 100_000);
+            (sys.now(), sys.hw.machine_digest())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Faulting programs never wedge the system: arbitrary (possibly
+    /// wild) addresses still let the schedule proceed.
+    #[test]
+    fn wild_addresses_cannot_wedge_the_kernel(
+        addrs in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let prog = TraceProgram::new(
+            addrs.iter().map(|a| Instr::Load(tp_hw::types::VAddr(*a))).collect(),
+        );
+        let kcfg = KernelConfig::new(vec![
+            DomainSpec::new(Box::new(prog)),
+            DomainSpec::new(Box::new(IdleProgram)),
+        ]);
+        let mut sys = System::new(MachineConfig::single_core(), kcfg).unwrap();
+        sys.run_cycles(Cycles(300_000), 200_000);
+        prop_assert!(
+            !sys.kernel.switch_log.is_empty(),
+            "schedule must continue past faults"
+        );
+    }
+}

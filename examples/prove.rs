@@ -1,0 +1,32 @@
+//! "Can we prove time protection?" — run the reproduction's answer.
+//!
+//! Discharges the paper's §5 proof obligations over the canonical
+//! omnibus scenario (every channel exercised at once), quantified over a
+//! family of time models, and then shows the ablation: remove any one §4
+//! mechanism and the checker produces a concrete leak witness.
+//!
+//! ```sh
+//! cargo run --release --example prove
+//! ```
+
+use time_protection::core::{check_noninterference, default_time_models, prove};
+use time_protection::kernel::config::Mechanism;
+
+fn main() {
+    println!("== Discharging the proof obligations of §5 ==\n");
+    let scenario = tp_bench::canonical_scenario(None);
+    let report = prove(&scenario, &default_time_models());
+    println!("{report}");
+
+    println!("== Ablation: every mechanism is load-bearing ==\n");
+    for m in Mechanism::ALL {
+        let verdict = check_noninterference(&tp_bench::canonical_scenario(Some(m)));
+        println!("without {m:?}: {verdict}");
+    }
+
+    println!();
+    println!("Interpretation: with all mechanisms on, the low domain's observation");
+    println!("trace is bit-identical across secrets under every time model tried —");
+    println!("the paper's noninterference claim. Each ablation yields a replayable");
+    println!("counterexample, so the 'proof' is not vacuous.");
+}
