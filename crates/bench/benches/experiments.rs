@@ -1,213 +1,136 @@
-//! Criterion benches timing each experiment's end-to-end runner
-//! (E1..E11). These regenerate the paper-claim artefacts while measuring
+//! Std-only benches timing each experiment's end-to-end runner
+//! (E1..E14). These regenerate the paper-claim artefacts while measuring
 //! how long the reproduction takes to produce them — useful both as a
 //! performance regression net for the simulator and as a single
 //! `cargo bench` entry point that exercises every experiment.
+//!
+//! No external harness: each case runs a fixed number of iterations and
+//! reports the per-iteration mean and min wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use tp_attacks::experiments as exp;
+use tp_core::engine;
 use tp_hw::clock::TimeModel;
 use tp_kernel::config::{Mechanism, TimeProtConfig};
 
-fn bench_e1_downgrader(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_downgrader");
-    g.sample_size(10);
-    g.bench_function("leaky", |b| {
-        b.iter(|| exp::e1_delivery_time(false, black_box(0xff00ff), TimeModel::intel_like()))
-    });
-    g.bench_function("deterministic", |b| {
-        b.iter(|| exp::e1_delivery_time(true, black_box(0xff00ff), TimeModel::intel_like()))
-    });
-    g.finish();
+/// Time `f` over `iters` iterations and print a one-line summary.
+fn bench<R>(name: &str, iters: u32, f: impl FnMut() -> R) {
+    let (total, min) = tp_bench::time_iters(iters, f);
+    println!(
+        "{name:<40} {iters:>3} iters  mean {:>12.3?}  min {:>12.3?}",
+        total / iters,
+        min
+    );
 }
 
-fn bench_e2_prime_probe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_l1_prime_probe");
-    g.sample_size(10);
-    g.bench_function("open", |b| {
-        b.iter(|| {
-            exp::e2_transmit_once(
-                TimeProtConfig::off(),
-                black_box(21),
-                TimeModel::intel_like(),
-            )
-        })
-    });
-    g.bench_function("closed", |b| {
-        b.iter(|| {
-            exp::e2_transmit_once(
-                TimeProtConfig::full(),
-                black_box(21),
-                TimeModel::intel_like(),
-            )
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let model = TimeModel::intel_like();
 
-fn bench_e3_llc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_llc_concurrent");
-    g.sample_size(10);
-    g.bench_function("shared_colours", |b| {
-        b.iter(|| exp::e3_transmit_once(false, black_box(5), TimeModel::intel_like()))
+    bench("e1_downgrader/leaky", 10, || {
+        exp::e1_delivery_time(false, black_box(0xff00ff), model)
     });
-    g.bench_function("disjoint_colours", |b| {
-        b.iter(|| exp::e3_transmit_once(true, black_box(5), TimeModel::intel_like()))
+    bench("e1_downgrader/deterministic", 10, || {
+        exp::e1_delivery_time(true, black_box(0xff00ff), model)
     });
-    g.finish();
-}
 
-fn bench_e4_switch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_switch_latency");
-    g.sample_size(10);
-    g.bench_function("unpadded_sweep", |b| {
-        b.iter(|| exp::e4_switch_latency(false, black_box(&[0, 96, 192])))
+    bench("e2_l1_prime_probe/open", 10, || {
+        exp::e2_transmit_once(TimeProtConfig::off(), black_box(21), model)
     });
-    g.bench_function("padded_sweep", |b| {
-        b.iter(|| exp::e4_switch_latency(true, black_box(&[0, 96, 192])))
+    bench("e2_l1_prime_probe/closed", 10, || {
+        exp::e2_transmit_once(TimeProtConfig::full(), black_box(21), model)
     });
-    g.finish();
-}
 
-fn bench_e5_irq(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e5_irq_channel");
-    g.sample_size(10);
+    bench("e3_llc_concurrent/shared_colours", 10, || {
+        exp::e3_transmit_once(false, black_box(5), model)
+    });
+    bench("e3_llc_concurrent/disjoint_colours", 10, || {
+        exp::e3_transmit_once(true, black_box(5), model)
+    });
+
+    bench("e4_switch_latency/unpadded_sweep", 10, || {
+        exp::e4_switch_latency(false, black_box(&[0, 96, 192]))
+    });
+    bench("e4_switch_latency/padded_sweep", 10, || {
+        exp::e4_switch_latency(true, black_box(&[0, 96, 192]))
+    });
+
     let delay = exp::e5_victim_slice_delays()[0];
-    g.bench_function("unpartitioned", |b| {
-        b.iter(|| exp::e5_transmit_once(false, true, black_box(delay), TimeModel::intel_like()))
+    bench("e5_irq_channel/unpartitioned", 10, || {
+        exp::e5_transmit_once(false, true, black_box(delay), model)
     });
-    g.bench_function("partitioned", |b| {
-        b.iter(|| exp::e5_transmit_once(true, true, black_box(delay), TimeModel::intel_like()))
+    bench("e5_irq_channel/partitioned", 10, || {
+        exp::e5_transmit_once(true, true, black_box(delay), model)
     });
-    g.finish();
-}
 
-fn bench_e6_kclone(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_kernel_clone");
-    g.sample_size(10);
-    g.bench_function("shared_image", |b| {
-        b.iter(|| exp::e6_syscall_latency(false, true, TimeModel::intel_like()))
+    bench("e6_kernel_clone/shared_image", 10, || {
+        exp::e6_syscall_latency(false, true, model)
     });
-    g.bench_function("cloned_image", |b| {
-        b.iter(|| exp::e6_syscall_latency(true, true, TimeModel::intel_like()))
+    bench("e6_kernel_clone/cloned_image", 10, || {
+        exp::e6_syscall_latency(true, true, model)
     });
-    g.finish();
-}
 
-fn bench_e7_proof(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7_proof");
-    g.sample_size(10);
-    g.bench_function("ni_check_full", |b| {
-        b.iter(|| tp_core::check_noninterference(&tp_bench::canonical_scenario(None)))
+    bench("e7_proof/ni_check_full", 5, || {
+        tp_core::check_noninterference(&tp_bench::canonical_scenario(None))
     });
-    g.finish();
-}
-
-fn bench_e8_tlb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_tlb_theorem");
-    g.bench_function("randomised_rounds", |b| {
-        b.iter(|| tp_bench::report_e8(black_box(3)))
+    bench("e7_proof/prove_sequential", 3, || {
+        tp_core::prove(
+            &tp_bench::canonical_scenario(None),
+            &tp_core::default_time_models(),
+        )
     });
-    g.finish();
-}
-
-fn bench_e9_algorithmic(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e9_algorithmic");
-    g.sample_size(10);
-    g.bench_function("padded_delivery", |b| {
-        b.iter(|| exp::e1_delivery_time(true, black_box(u64::MAX), TimeModel::intel_like()))
+    bench("e7_proof/prove_parallel", 3, || {
+        engine::prove_parallel(
+            &tp_bench::canonical_scenario(None),
+            &tp_core::default_time_models(),
+            engine::available_threads(),
+        )
     });
-    g.finish();
-}
 
-fn bench_e10_interconnect(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e10_interconnect");
-    g.sample_size(10);
-    g.bench_function("no_mitigation", |b| {
-        b.iter(|| exp::e10_interconnect(None, TimeModel::intel_like()))
+    bench("e8_tlb_theorem/randomised_rounds", 10, || {
+        tp_bench::report_e8(black_box(3))
     });
-    g.finish();
-}
 
-fn bench_e11_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e11_ablation");
-    g.sample_size(10);
-    g.bench_function("one_mechanism", |b| {
-        b.iter(|| {
-            tp_core::check_noninterference(&tp_bench::canonical_scenario(Some(Mechanism::Padding)))
+    bench("e9_algorithmic/padded_delivery", 10, || {
+        exp::e1_delivery_time(true, black_box(u64::MAX), model)
+    });
+
+    bench("e10_interconnect/no_mitigation", 10, || {
+        exp::e10_interconnect(None, model)
+    });
+
+    bench("e11_ablation/one_mechanism", 5, || {
+        tp_core::check_noninterference(&tp_bench::canonical_scenario(Some(Mechanism::Padding)))
+    });
+
+    bench("e12_branch_predictor/open", 10, || {
+        exp::e12_transmit_once(TimeProtConfig::off(), black_box(false), model)
+    });
+    bench("e12_branch_predictor/closed", 10, || {
+        exp::e12_transmit_once(TimeProtConfig::full(), black_box(false), model)
+    });
+
+    bench("e13_hyperthread/sibling_threads", 10, || {
+        exp::e13_transmit_once(true, black_box(9), model)
+    });
+    bench("e13_hyperthread/separate_cores", 10, || {
+        exp::e13_transmit_once(false, black_box(9), model)
+    });
+
+    use tp_core::exhaustive::ExhaustiveConfig;
+    bench("e14_exhaustive/length_2_sequential", 5, || {
+        tp_core::check_exhaustive(&ExhaustiveConfig {
+            max_len: 2,
+            ..ExhaustiveConfig::small(TimeProtConfig::full())
         })
     });
-    g.finish();
-}
-
-fn bench_e12_branch_predictor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e12_branch_predictor");
-    g.sample_size(10);
-    g.bench_function("open", |b| {
-        b.iter(|| {
-            exp::e12_transmit_once(
-                TimeProtConfig::off(),
-                black_box(false),
-                TimeModel::intel_like(),
-            )
-        })
-    });
-    g.bench_function("closed", |b| {
-        b.iter(|| {
-            exp::e12_transmit_once(
-                TimeProtConfig::full(),
-                black_box(false),
-                TimeModel::intel_like(),
-            )
-        })
-    });
-    g.finish();
-}
-
-fn bench_e13_hyperthread(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e13_hyperthread");
-    g.sample_size(10);
-    g.bench_function("sibling_threads", |b| {
-        b.iter(|| exp::e13_transmit_once(true, black_box(9), TimeModel::intel_like()))
-    });
-    g.bench_function("separate_cores", |b| {
-        b.iter(|| exp::e13_transmit_once(false, black_box(9), TimeModel::intel_like()))
-    });
-    g.finish();
-}
-
-fn bench_e14_exhaustive(c: &mut Criterion) {
-    use tp_core::exhaustive::{check_exhaustive, ExhaustiveConfig};
-    let mut g = c.benchmark_group("e14_exhaustive");
-    g.sample_size(10);
-    g.bench_function("length_2_space", |b| {
-        b.iter(|| {
-            check_exhaustive(&ExhaustiveConfig {
+    bench("e14_exhaustive/length_2_parallel", 5, || {
+        engine::check_exhaustive_parallel(
+            &ExhaustiveConfig {
                 max_len: 2,
                 ..ExhaustiveConfig::small(TimeProtConfig::full())
-            })
-        })
+            },
+            engine::available_threads(),
+        )
     });
-    g.finish();
 }
-
-criterion_group!(
-    experiments,
-    bench_e1_downgrader,
-    bench_e2_prime_probe,
-    bench_e3_llc,
-    bench_e4_switch,
-    bench_e5_irq,
-    bench_e6_kclone,
-    bench_e7_proof,
-    bench_e8_tlb,
-    bench_e9_algorithmic,
-    bench_e10_interconnect,
-    bench_e11_ablation,
-    bench_e12_branch_predictor,
-    bench_e13_hyperthread,
-    bench_e14_exhaustive,
-);
-criterion_main!(experiments);

@@ -1,10 +1,8 @@
-//! Criterion microbenches for the simulator substrate itself: cache
-//! access, TLB lookup, flush, predictor resolve, kernel step and the
-//! digesting used by the invariant checkers. These put numbers on the
-//! cost of "proof by exhaustive checking" — the reproduction's analogue
-//! of proof effort.
+//! Std-only microbenches for the simulator substrate itself: cache
+//! access, TLB lookup, flush, kernel step and the digesting used by the
+//! invariant checkers. These put numbers on the cost of "proof by
+//! exhaustive checking" — the reproduction's analogue of proof effort.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use tp_hw::cache::{Cache, CacheConfig};
@@ -15,32 +13,32 @@ use tp_kernel::config::{DomainSpec, KernelConfig};
 use tp_kernel::kernel::System;
 use tp_kernel::program::IdleProgram;
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    let mut cache = Cache::new(CacheConfig::llc());
-    let mut i = 0u64;
-    g.bench_function("access_llc", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(0x1040);
-            cache.access(PAddr(black_box(i) % (1 << 26)), i % 3 == 0, DomainTag(0))
-        })
-    });
-    g.bench_function("flush_llc", |b| {
-        b.iter(|| {
-            for k in 0..1024u64 {
-                cache.access(PAddr(k * 64), true, DomainTag(0));
-            }
-            black_box(cache.flush_all())
-        })
-    });
-    g.bench_function("state_digest_llc", |b| {
-        b.iter(|| black_box(cache.state_digest()))
-    });
-    g.finish();
+/// Time `iters` iterations of `f` and print ns/op.
+fn bench<R>(name: &str, iters: u32, f: impl FnMut() -> R) {
+    let (total, _min) = tp_bench::time_iters(iters, f);
+    println!(
+        "{name:<32} {iters:>9} iters  {:>10.1} ns/op",
+        total.as_nanos() as f64 / iters as f64
+    );
 }
 
-fn bench_tlb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tlb");
+fn main() {
+    let mut cache = Cache::new(CacheConfig::llc());
+    let mut i = 0u64;
+    bench("cache/access_llc", 100_000, || {
+        i = i.wrapping_add(0x1040);
+        cache.access(PAddr(black_box(i) % (1 << 26)), i % 3 == 0, DomainTag(0))
+    });
+    bench("cache/flush_llc", 1_000, || {
+        for k in 0..1024u64 {
+            cache.access(PAddr(k * 64), true, DomainTag(0));
+        }
+        black_box(cache.flush_all())
+    });
+    bench("cache/state_digest_llc", 10_000, || {
+        black_box(cache.state_digest())
+    });
+
     let mut tlb = Tlb::new(64);
     for v in 0..64 {
         tlb.insert(TlbEntry {
@@ -53,70 +51,44 @@ fn bench_tlb(c: &mut Criterion) {
         });
     }
     let mut v = 0u64;
-    g.bench_function("lookup_hit", |b| {
-        b.iter(|| {
-            v = (v + 1) % 64;
-            tlb.lookup(Asid(1), VAddr(black_box(v) << 12))
-        })
+    bench("tlb/lookup_hit", 100_000, || {
+        v = (v + 1) % 64;
+        tlb.lookup(Asid(1), VAddr(black_box(v) << 12))
     });
-    g.finish();
-}
 
-fn bench_machine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine");
     let mut m = Machine::new(MachineConfig::single_core());
-    let mut i = 0u64;
-    g.bench_function("access_phys", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(0x40);
-            m.access_phys(
-                CoreId(0),
-                PAddr(black_box(i) % (1 << 22)),
-                false,
-                false,
-                DomainTag(0),
-            )
-        })
+    let mut a = 0u64;
+    bench("machine/access_phys", 100_000, || {
+        a = a.wrapping_add(0x40);
+        m.access_phys(
+            CoreId(0),
+            PAddr(black_box(a) % (1 << 22)),
+            false,
+            false,
+            DomainTag(0),
+        )
     });
-    g.bench_function("flush_core_local", |b| {
-        b.iter(|| black_box(m.flush_core_local(CoreId(0))))
+    bench("machine/flush_core_local", 10_000, || {
+        black_box(m.flush_core_local(CoreId(0)))
     });
-    g.finish();
-}
 
-fn bench_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("system");
-    g.bench_function("steps_per_sec", |b| {
-        let mut sys = System::new(
+    let mut sys = System::new(
+        MachineConfig::single_core(),
+        KernelConfig::new(vec![
+            DomainSpec::new(Box::new(IdleProgram)),
+            DomainSpec::new(Box::new(IdleProgram)),
+        ]),
+    )
+    .unwrap();
+    bench("system/steps_per_sec", 100_000, || black_box(sys.step()));
+    bench("system/build_system", 1_000, || {
+        System::new(
             MachineConfig::single_core(),
             KernelConfig::new(vec![
                 DomainSpec::new(Box::new(IdleProgram)),
                 DomainSpec::new(Box::new(IdleProgram)),
             ]),
         )
-        .unwrap();
-        b.iter(|| black_box(sys.step()))
+        .unwrap()
     });
-    g.bench_function("build_system", |b| {
-        b.iter(|| {
-            System::new(
-                MachineConfig::single_core(),
-                KernelConfig::new(vec![
-                    DomainSpec::new(Box::new(IdleProgram)),
-                    DomainSpec::new(Box::new(IdleProgram)),
-                ]),
-            )
-            .unwrap()
-        })
-    });
-    g.finish();
 }
-
-criterion_group!(
-    substrate,
-    bench_cache,
-    bench_tlb,
-    bench_machine,
-    bench_system
-);
-criterion_main!(substrate);

@@ -1,4 +1,5 @@
-//! Regenerate every experiment report (the full EXPERIMENTS.md body).
+//! Regenerate every experiment report (the full EXPERIMENTS.md body),
+//! then run the whole proof surface once more as a scenario matrix.
 fn main() {
     println!("=== aISA conformance ===");
     print!("{}", tp_bench::report_aisa());
@@ -24,4 +25,6 @@ fn main() {
         println!("\n=== E{} ===", i + 1);
         print!("{r}");
     }
+    println!("\n=== Scenario matrix (the suite as one engine run) ===");
+    print!("{}", tp_bench::report_matrix());
 }

@@ -1,0 +1,5 @@
+//! The omnibus scenario-matrix run: every machine variant × every
+//! protection setting × every time model, proved in one engine call.
+fn main() {
+    print!("{}", tp_bench::report_matrix());
+}

@@ -23,6 +23,27 @@ use tp_kernel::domain::DomainId;
 use tp_kernel::layout::data_addr;
 use tp_kernel::program::{Instr, SyscallReq, TraceProgram};
 
+/// Time `iters` iterations of `f` (after one untimed warm-up run) and
+/// return (total, min) wall time. Shared by the std-only bench binaries
+/// in `benches/`, which format the numbers to taste.
+pub fn time_iters<R>(
+    iters: u32,
+    mut f: impl FnMut() -> R,
+) -> (std::time::Duration, std::time::Duration) {
+    use std::hint::black_box;
+    black_box(f());
+    let mut total = std::time::Duration::ZERO;
+    let mut min = std::time::Duration::MAX;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        black_box(f());
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    (total, min)
+}
+
 /// Format a channel matrix summary line.
 pub fn matrix_summary(name: &str, m: &ChannelMatrix) -> String {
     format!(
@@ -195,10 +216,15 @@ pub fn report_e6(trials: usize) -> String {
     out
 }
 
-/// E7: the proof harness on the canonical scenario.
+/// E7: the proof harness on the canonical scenario, sharded over the
+/// (time-model × secret) product by the engine.
 pub fn report_e7() -> String {
     let scenario = canonical_scenario(None);
-    let report = tp_core::prove(&scenario, &tp_core::default_time_models());
+    let report = tp_core::engine::prove_parallel(
+        &scenario,
+        &tp_core::default_time_models(),
+        tp_core::engine::available_threads(),
+    );
     let mut out = String::new();
     writeln!(out, "E7: discharging the §5 proof obligations").unwrap();
     write!(out, "{report}").unwrap();
@@ -527,7 +553,8 @@ pub fn canonical_scenario(disable: Option<Mechanism>) -> NiScenario {
 }
 
 /// E11: the ablation — disable each mechanism in turn; the NI checker
-/// must find a leak, and with everything on it must pass.
+/// must find a leak, and with everything on it must pass. One
+/// [`tp_core::ScenarioMatrix`] run over all seven protection settings.
 pub fn report_e11() -> String {
     let mut out = String::new();
     writeln!(
@@ -536,11 +563,16 @@ pub fn report_e11() -> String {
     )
     .unwrap();
     writeln!(out, "  {:>20} | verdict", "disabled").unwrap();
-    let v = tp_core::check_noninterference(&canonical_scenario(None));
-    writeln!(out, "  {:>20} | {}", "(none)", v).unwrap();
-    for m in Mechanism::ALL {
-        let v = tp_core::check_noninterference(&canonical_scenario(Some(m)));
-        writeln!(out, "  {:>20} | {}", format!("{m:?}"), v).unwrap();
+    let matrix = tp_core::ScenarioMatrix::new("canonical", canonical_machine()).sweep_ablations();
+    let verdicts = matrix.run_ni(tp_core::engine::available_threads(), |cell| {
+        canonical_scenario(cell.disable)
+    });
+    for (cell, verdict) in &verdicts {
+        let label = match cell.disable {
+            Some(m) => format!("{m:?}"),
+            None => "(none)".to_string(),
+        };
+        writeln!(out, "  {:>20} | {}", label, verdict).unwrap();
     }
     out
 }
@@ -548,23 +580,31 @@ pub fn report_e11() -> String {
 /// E14: exhaustive small-scope model checking — quantify over *all* Hi
 /// programs up to a length bound, not just hand-picked secrets.
 pub fn report_e14(max_len: usize) -> String {
-    use tp_core::exhaustive::{check_exhaustive, ExhaustiveConfig};
+    use tp_core::engine::{available_threads, check_exhaustive_parallel};
+    use tp_core::exhaustive::ExhaustiveConfig;
     let mut out = String::new();
     writeln!(
         out,
         "E14: exhaustive small-scope check (all Hi programs, length <= {max_len})"
     )
     .unwrap();
-    let full = check_exhaustive(&ExhaustiveConfig {
-        max_len,
-        ..ExhaustiveConfig::small(TimeProtConfig::full())
-    });
+    let threads = available_threads();
+    let full = check_exhaustive_parallel(
+        &ExhaustiveConfig {
+            max_len,
+            ..ExhaustiveConfig::small(TimeProtConfig::full())
+        },
+        threads,
+    );
     writeln!(out, "  full protection : {full}").unwrap();
     for m in [Mechanism::Flush, Mechanism::Padding, Mechanism::KernelClone] {
-        let v = check_exhaustive(&ExhaustiveConfig {
-            max_len,
-            ..ExhaustiveConfig::small(TimeProtConfig::full_without(m))
-        });
+        let v = check_exhaustive_parallel(
+            &ExhaustiveConfig {
+                max_len,
+                ..ExhaustiveConfig::small(TimeProtConfig::full_without(m))
+            },
+            threads,
+        );
         writeln!(out, "  without {m:?}: {v}").unwrap();
     }
     writeln!(
@@ -576,6 +616,52 @@ pub fn report_e14(max_len: usize) -> String {
     )
     .unwrap();
     out
+}
+
+/// The omnibus scenario-matrix run: the canonical scenario proved over
+/// a sweep of LLC geometries, core counts and mechanism ablations under
+/// the full time-model family — the whole experiment suite's proof
+/// surface as one engine call.
+pub fn report_matrix() -> String {
+    let threads = tp_core::engine::available_threads();
+    let matrix = canonical_matrix();
+    let report = matrix.run(threads, |cell| canonical_scenario(cell.disable));
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Scenario matrix: {} cells × {} time models ({} worker threads)",
+        matrix.cells().len(),
+        matrix.models().len(),
+        threads
+    )
+    .unwrap();
+    write!(out, "{report}").unwrap();
+    // Per-mechanism coverage: each ablated mechanism must fail the
+    // proof on at least one machine, or the load-bearing claim the
+    // matrix exists to check has silently regressed.
+    let leaking: std::collections::HashSet<Mechanism> = report
+        .leaking_ablations()
+        .iter()
+        .filter_map(|(c, _)| c.disable)
+        .collect();
+    writeln!(
+        out,
+        "  -> full protection proves on every machine: {}; every mechanism's ablation leaks somewhere: {}",
+        report.full_protection_proved(),
+        Mechanism::ALL.iter().all(|m| leaking.contains(m))
+    )
+    .unwrap();
+    out
+}
+
+/// The sweep behind [`report_matrix`]: canonical machine plus LLC
+/// geometry variants, every single-mechanism ablation, all default time
+/// models. Kept as its own constructor so tests can validate the same
+/// cells the report runs.
+pub fn canonical_matrix() -> tp_core::ScenarioMatrix {
+    tp_core::ScenarioMatrix::new("canonical", canonical_machine())
+        .sweep_llc(&[(512, 2), (1024, 1)])
+        .sweep_ablations()
 }
 
 /// The aISA conformance report for the standard machines.

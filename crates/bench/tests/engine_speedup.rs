@@ -1,0 +1,86 @@
+//! Acceptance test for the engine: on the canonical scenario,
+//! `prove_parallel` must return the identical verdict to the sequential
+//! `prove`, and on a host that can actually run ≥ 2× faster in parallel
+//! it must do so. The speedup assertion self-calibrates: it first
+//! measures the host's achievable parallel speedup on embarrassingly
+//! parallel spin work, and only asserts when that ceiling is ≥ 2.5× —
+//! so SMT-limited laptops, 1-core containers and noisy shared CI
+//! runners skip the timing assertion (with a note) instead of flaking,
+//! while any genuine multi-core runner still enforces the 2× bar.
+
+use tp_bench::{canonical_scenario, time_iters};
+use tp_core::engine::{available_threads, parallel_map, prove_parallel};
+use tp_core::proof::{default_time_models, prove};
+
+/// CPU-bound spin work the compiler cannot elide.
+fn spin(rounds: u64) -> u64 {
+    let mut x = 0x9e37_79b9u64;
+    for i in 0..rounds {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(x)
+}
+
+/// Measured parallel speedup ceiling of this host: N independent spin
+/// tasks run sequentially vs on the pool.
+fn calibration_speedup(threads: usize) -> f64 {
+    let tasks: Vec<u64> = vec![2_000_000; 4 * threads.max(1)];
+    let seq = time_iters(3, || parallel_map(&tasks, 1, |_, &r| spin(r))).1;
+    let par = time_iters(3, || parallel_map(&tasks, threads, |_, &r| spin(r))).1;
+    seq.as_secs_f64() / par.as_secs_f64()
+}
+
+#[test]
+fn parallel_prove_matches_and_beats_sequential() {
+    let models = default_time_models();
+    let threads = available_threads();
+
+    // Identical verdict, bit for bit.
+    let sequential = prove(&canonical_scenario(None), &models);
+    let parallel = prove_parallel(&canonical_scenario(None), &models, threads);
+    assert!(sequential.time_protection_proved(), "{sequential}");
+    assert!(parallel.time_protection_proved(), "{parallel}");
+    assert_eq!(sequential.to_string(), parallel.to_string());
+    assert_eq!(sequential.steps, parallel.steps);
+
+    // One measured ratio per attempt (best-of-3 each side).
+    let measure = || {
+        let t_seq = time_iters(3, || prove(&canonical_scenario(None), &models)).1;
+        let t_par = time_iters(3, || {
+            prove_parallel(&canonical_scenario(None), &models, threads)
+        })
+        .1;
+        let ratio = t_seq.as_secs_f64() / t_par.as_secs_f64();
+        eprintln!(
+            "prove: sequential {t_seq:?}, parallel {t_par:?} on {threads} threads ({ratio:.2}x)"
+        );
+        ratio
+    };
+    if threads < 4 {
+        eprintln!("(host has {threads} thread(s); skipping the >= 2x speedup assertion)");
+        return;
+    }
+    let first = measure();
+    let ceiling = calibration_speedup(threads);
+    eprintln!("calibration: spin-work parallel speedup ceiling {ceiling:.2}x");
+    if ceiling < 2.5 {
+        eprintln!("(ceiling < 2.5x: host cannot demonstrate 2x; skipping the assertion)");
+        return;
+    }
+    // Retry on transient noise: a correct engine on >= 4 real cores
+    // clears 2x comfortably, so only a sustained cap across attempts —
+    // an actual engine regression or a genuinely bandwidth-starved
+    // host — fails here.
+    let mut best = first;
+    for _ in 0..2 {
+        if best >= 2.0 {
+            break;
+        }
+        best = best.max(measure());
+    }
+    assert!(
+        best >= 2.0,
+        "host sustains {ceiling:.2}x on spin work, so the engine must reach >= 2x \
+         in some attempt; best observed {best:.2}x"
+    );
+}

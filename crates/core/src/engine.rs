@@ -1,0 +1,685 @@
+//! The scenario-matrix proof engine: parallel drivers for the proof
+//! obligations and a sweep builder for whole families of scenarios.
+//!
+//! The paper's §5.1 argument — the proof must hold under *every*
+//! deterministic-but-unspecified time model — is inherently a fan-out
+//! workload: the (time-model × secret) product of [`crate::proof::prove`]
+//! and the Hi-program enumeration of [`crate::exhaustive`] are both
+//! embarrassingly parallel, and every run is deterministic. This module
+//! shards them across a std-thread worker pool while keeping results
+//! **bit-identical** to the sequential checkers:
+//!
+//! * [`prove_parallel`] — shards monitored runs and NI replays per
+//!   (model, secret), then merges P/F/T evidence and verdicts in the
+//!   exact lexicographic order the sequential `prove` accumulates in.
+//! * [`check_exhaustive_parallel`] — shards the program enumeration by
+//!   index blocks; a leak verdict is the *lowest-index* witness, which
+//!   is precisely the sequential first-witness.
+//! * [`ScenarioMatrix`] — builds the cross product of machine
+//!   configurations (cache geometry, core counts), mechanism ablations
+//!   and time models, and proves every cell in one call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::exhaustive::{
+    run_with_hi, space_size, word_for_index, ExhaustiveConfig, ExhaustiveVerdict,
+};
+use crate::noninterference::{
+    compare_secret_runs, first_divergence, lo_trace, run_monitored, NiScenario, NiVerdict,
+};
+use crate::obligation::ObligationResult;
+use crate::proof::{ModelVerdict, ProofReport};
+use tp_hw::aisa::check_conformance;
+use tp_hw::cache::CacheConfig;
+use tp_hw::clock::TimeModel;
+use tp_hw::machine::MachineConfig;
+use tp_kernel::config::{Mechanism, TimeProtConfig};
+use tp_kernel::domain::ObsEvent;
+use tp_kernel::kernel::System;
+use tp_kernel::program::Instr;
+
+/// The number of worker threads the host offers (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on a pool of `threads` scoped worker threads,
+/// returning results in item order. Workers claim items through an
+/// atomic cursor, so scheduling is dynamic but the output is
+/// position-stable — the foundation of the engine's determinism.
+///
+/// A panicking worker propagates its panic to the caller, matching the
+/// sequential checkers' failure mode.
+pub fn parallel_map<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Per-(model, secret) evidence produced by one worker: the monitored
+/// run's P/F/T results plus the unmonitored NI replay trace.
+struct ProofShard {
+    p: ObligationResult,
+    f: ObligationResult,
+    t: ObligationResult,
+    steps: usize,
+    trace: Vec<ObsEvent>,
+}
+
+/// [`crate::proof::prove`], sharded over the (time-model × secret)
+/// product.
+///
+/// Each worker performs exactly the two runs the sequential driver
+/// performs for that pair — one monitored (P/F/T evidence) and one
+/// plain replay (the NI trace) — and the merge walks shards in
+/// (model, secret) lexicographic order. The resulting [`ProofReport`]
+/// is therefore bit-identical to `prove(scenario, models)`: same
+/// verdicts, same violation order, same first witness, same step count.
+pub fn prove_parallel(scenario: &NiScenario, models: &[TimeModel], threads: usize) -> ProofReport {
+    assert!(!models.is_empty(), "need at least one time model");
+    assert!(
+        scenario.secrets.len() >= 2,
+        "need at least two secrets to compare"
+    );
+    let aisa = check_conformance(&scenario.mcfg);
+
+    let tasks: Vec<(usize, u64)> = models
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, _)| scenario.secrets.iter().map(move |&s| (mi, s)))
+        .collect();
+
+    let shards = parallel_map(&tasks, threads, |_, &(mi, s)| {
+        let mut mcfg = scenario.mcfg.clone();
+        mcfg.time_model = models[mi];
+        let kcfg = (scenario.make_kcfg)(s);
+        let sys = System::new(mcfg.clone(), kcfg)
+            .expect("scenario construction must succeed for every secret");
+        let run = run_monitored(sys, scenario.budget, scenario.max_steps);
+        let trace = lo_trace(
+            &mcfg,
+            (scenario.make_kcfg)(s),
+            scenario.lo,
+            scenario.budget,
+            scenario.max_steps,
+        );
+        ProofShard {
+            p: run.p,
+            f: run.f,
+            t: run.t,
+            steps: run.steps,
+            trace,
+        }
+    });
+
+    let mut p = ObligationResult::new("P");
+    let mut f = ObligationResult::new("F");
+    let mut t = ObligationResult::new("T");
+    let mut ni = Vec::with_capacity(models.len());
+    let mut steps = 0;
+    let mut it = shards.into_iter();
+    for model in models {
+        let mut runs: Vec<(u64, Vec<ObsEvent>)> = Vec::with_capacity(scenario.secrets.len());
+        for &s in &scenario.secrets {
+            let shard = it.next().expect("one shard per (model, secret)");
+            p.merge(shard.p);
+            f.merge(shard.f);
+            t.merge(shard.t);
+            steps += shard.steps;
+            runs.push((s, shard.trace));
+        }
+        ni.push(ModelVerdict {
+            model: *model,
+            verdict: compare_secret_runs(&runs),
+        });
+    }
+
+    ProofReport {
+        aisa,
+        p,
+        f,
+        t,
+        ni,
+        steps,
+    }
+}
+
+/// [`crate::exhaustive::check_exhaustive`], sharded by index blocks.
+///
+/// Workers claim contiguous blocks of the enumeration through an atomic
+/// cursor and record every leak they find; the verdict is the candidate
+/// with the lowest program index. Because the sequential checker stops
+/// at the first (= lowest-index) leak, the two drivers return the same
+/// witness. A shared lowest-leak bound prunes work at higher indices.
+pub fn check_exhaustive_parallel(cfg: &ExhaustiveConfig, threads: usize) -> ExhaustiveVerdict {
+    let baseline = run_with_hi(cfg, &[]);
+    let total = space_size(cfg.alphabet.len(), cfg.max_len);
+
+    /// Indices per work claim: small enough to balance, large enough to
+    /// keep cursor traffic negligible next to a full system run.
+    const BLOCK: usize = 8;
+
+    // No point spawning more workers than there are blocks to claim.
+    let threads = threads.max(1).min(total.div_ceil(BLOCK).max(1));
+
+    struct Candidate {
+        index: usize,
+        witness: Vec<Instr>,
+        divergence: usize,
+        baseline_event: Option<ObsEvent>,
+        witness_event: Option<ObsEvent>,
+    }
+
+    let next_block = AtomicUsize::new(0);
+    let best = AtomicUsize::new(usize::MAX);
+    let candidates: Mutex<Vec<Candidate>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let start = 1 + next_block.fetch_add(1, Ordering::Relaxed) * BLOCK;
+                if start > total {
+                    break;
+                }
+                // Blocks are claimed in increasing index order, so once a
+                // leak below this block exists nothing later can beat it.
+                if start > best.load(Ordering::Relaxed) {
+                    break;
+                }
+                let end = (start + BLOCK - 1).min(total);
+                for index in start..=end {
+                    if index > best.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let word = word_for_index(&cfg.alphabet, cfg.max_len, index)
+                        .expect("index is within the enumerated space");
+                    let trace = run_with_hi(cfg, &word);
+                    if let Some(div) = first_divergence(&baseline, &trace) {
+                        best.fetch_min(index, Ordering::Relaxed);
+                        candidates
+                            .lock()
+                            .expect("candidate list poisoned")
+                            .push(Candidate {
+                                index,
+                                witness: word,
+                                divergence: div,
+                                baseline_event: baseline.get(div).copied(),
+                                witness_event: trace.get(div).copied(),
+                            });
+                        // Later indices in this block cannot beat this one.
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let mut found = candidates.into_inner().expect("candidate list poisoned");
+    found.sort_by_key(|c| c.index);
+    match found.into_iter().next() {
+        Some(c) => ExhaustiveVerdict::Leak {
+            program_index: c.index,
+            witness: c.witness,
+            divergence: c.divergence,
+            baseline_event: c.baseline_event,
+            witness_event: c.witness_event,
+        },
+        None => ExhaustiveVerdict::Pass {
+            programs: total + 1,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario matrix
+// ---------------------------------------------------------------------
+
+/// One point of the sweep: a machine configuration paired with a
+/// time-protection setting (full, or full-minus-one-mechanism).
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Label of the machine configuration this cell runs on.
+    pub machine: String,
+    /// The machine configuration.
+    pub mcfg: MachineConfig,
+    /// The mechanism disabled in this cell (`None` = full protection).
+    pub disable: Option<Mechanism>,
+    /// The resulting protection setting.
+    pub tp: TimeProtConfig,
+}
+
+impl MatrixCell {
+    /// Human-readable cell label, e.g. `"llc-512x1 / -Padding"`.
+    pub fn label(&self) -> String {
+        match self.disable {
+            Some(m) => format!("{} / -{m:?}", self.machine),
+            None => format!("{} / full", self.machine),
+        }
+    }
+}
+
+/// Builder for a family of proof scenarios: the cross product of
+/// machine configurations (cache geometry, core counts), mechanism
+/// ablations and time models, proved in one [`ScenarioMatrix::run`]
+/// call on the worker pool.
+pub struct ScenarioMatrix {
+    machines: Vec<(String, MachineConfig)>,
+    ablations: Vec<Option<Mechanism>>,
+    models: Vec<TimeModel>,
+}
+
+impl ScenarioMatrix {
+    /// A matrix holding just `base` under full protection and the
+    /// default time-model family.
+    pub fn new(label: impl Into<String>, base: MachineConfig) -> Self {
+        ScenarioMatrix {
+            machines: vec![(label.into(), base)],
+            ablations: vec![None],
+            models: crate::proof::default_time_models(),
+        }
+    }
+
+    /// The first (base) machine configuration.
+    fn base(&self) -> &MachineConfig {
+        &self.machines[0].1
+    }
+
+    /// Add one named machine configuration.
+    pub fn add_machine(mut self, label: impl Into<String>, mcfg: MachineConfig) -> Self {
+        self.machines.push((label.into(), mcfg));
+        self
+    }
+
+    /// Add variants of the base machine with the given LLC geometries
+    /// (`(sets, ways)`). Sets must stay ≥ 256 when two coloured domains
+    /// plus the kernel need distinct page colours (colours = sets / 64).
+    pub fn sweep_llc(mut self, geometries: &[(usize, usize)]) -> Self {
+        for &(sets, ways) in geometries {
+            let mut mcfg = self.base().clone();
+            if let Some(llc) = &mut mcfg.llc {
+                llc.sets = sets;
+                llc.ways = ways;
+            } else {
+                mcfg.llc = Some(CacheConfig {
+                    sets,
+                    ways,
+                    ..CacheConfig::llc()
+                });
+            }
+            self.machines.push((format!("llc-{sets}x{ways}"), mcfg));
+        }
+        self
+    }
+
+    /// Add variants of the base machine with the given core counts.
+    pub fn sweep_cores(mut self, counts: &[usize]) -> Self {
+        for &cores in counts {
+            let mut mcfg = self.base().clone();
+            mcfg.cores = cores;
+            self.machines.push((format!("cores-{cores}"), mcfg));
+        }
+        self
+    }
+
+    /// Prove every cell twice over: once fully protected and once per
+    /// single-mechanism ablation (the E11 sweep).
+    pub fn sweep_ablations(mut self) -> Self {
+        self.ablations = std::iter::once(None)
+            .chain(Mechanism::ALL.into_iter().map(Some))
+            .collect();
+        self
+    }
+
+    /// Restrict the ablations to the given set (`None` = full).
+    pub fn with_ablations(mut self, ablations: Vec<Option<Mechanism>>) -> Self {
+        assert!(!ablations.is_empty(), "need at least one ablation setting");
+        self.ablations = ablations;
+        self
+    }
+
+    /// Replace the time-model family.
+    pub fn with_models(mut self, models: Vec<TimeModel>) -> Self {
+        assert!(!models.is_empty(), "need at least one time model");
+        self.models = models;
+        self
+    }
+
+    /// The time models every cell is proved under.
+    pub fn models(&self) -> &[TimeModel] {
+        &self.models
+    }
+
+    /// Materialise the cross product, machines outer, ablations inner.
+    pub fn cells(&self) -> Vec<MatrixCell> {
+        let mut out = Vec::with_capacity(self.machines.len() * self.ablations.len());
+        for (label, mcfg) in &self.machines {
+            for &disable in &self.ablations {
+                out.push(MatrixCell {
+                    machine: label.clone(),
+                    mcfg: mcfg.clone(),
+                    disable,
+                    tp: match disable {
+                        Some(m) => TimeProtConfig::full_without(m),
+                        None => TimeProtConfig::full(),
+                    },
+                });
+            }
+        }
+        out
+    }
+
+    /// Check every cell constructs cleanly: `check_conformance` runs on
+    /// the machine and `System::new` accepts the kernel configuration
+    /// (with the cell's machine and protection applied, exactly as
+    /// [`ScenarioMatrix::run`] would) for every secret. Returns the
+    /// number of (cell, secret) systems validated, or the first failing
+    /// cell's label and error.
+    pub fn validate<F>(&self, make_scenario: F) -> Result<usize, String>
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+    {
+        let mut validated = 0;
+        for cell in self.cells() {
+            let _ = check_conformance(&cell.mcfg);
+            let scenario = apply_cell(make_scenario(&cell), &cell);
+            for &s in &scenario.secrets {
+                let kcfg = (scenario.make_kcfg)(s);
+                System::new(scenario.mcfg.clone(), kcfg)
+                    .map_err(|e| format!("{}: secret {s}: {e:?}", cell.label()))?;
+                validated += 1;
+            }
+        }
+        Ok(validated)
+    }
+
+    /// Prove every cell on the worker pool. `make_scenario` builds the
+    /// base scenario; the engine then overrides the scenario's machine
+    /// with `cell.mcfg` **and** the kernel configuration's protection
+    /// with `cell.tp`, so both halves of the sweep always apply — a
+    /// callback that ignores the cell cannot hollow out the ablations.
+    ///
+    /// Threads are split between cells (outer) and each cell's
+    /// (model × secret) product (inner), so a single-cell matrix still
+    /// saturates the pool.
+    pub fn run<F>(&self, threads: usize, make_scenario: F) -> MatrixReport
+    where
+        F: Fn(&MatrixCell) -> NiScenario + Sync,
+    {
+        let cells = self.cells();
+        let threads = threads.max(1);
+        let outer = threads.clamp(1, cells.len().max(1));
+        let inner = (threads / outer).max(1);
+        let reports = parallel_map(&cells, outer, |_, cell| {
+            let scenario = apply_cell(make_scenario(cell), cell);
+            prove_parallel(&scenario, &self.models, inner)
+        });
+        MatrixReport {
+            cells: cells.into_iter().zip(reports).collect(),
+        }
+    }
+
+    /// NI-only matrix run: shard every cell's per-secret replay across
+    /// the pool and compare Lo traces, without the monitored P/F/T runs
+    /// a full [`ScenarioMatrix::run`] performs. Each cell's verdict is
+    /// identical to `check_noninterference` on that cell's scenario
+    /// (same [`lo_trace`] + [`compare_secret_runs`] path) under the
+    /// cell machine's own time model. This is the cheap driver for
+    /// sweeps that only need leak/no-leak answers, like the E11
+    /// ablation table.
+    pub fn run_ni<F>(&self, threads: usize, make_scenario: F) -> Vec<(MatrixCell, NiVerdict)>
+    where
+        F: Fn(&MatrixCell) -> NiScenario + Sync,
+    {
+        let cells = self.cells();
+        let scenarios: Vec<NiScenario> = cells
+            .iter()
+            .map(|c| apply_cell(make_scenario(c), c))
+            .collect();
+        let tasks: Vec<(usize, usize)> = scenarios
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, sc)| (0..sc.secrets.len()).map(move |si| (ci, si)))
+            .collect();
+        let traces = parallel_map(&tasks, threads, |_, &(ci, si)| {
+            let sc = &scenarios[ci];
+            let s = sc.secrets[si];
+            (
+                s,
+                lo_trace(&sc.mcfg, (sc.make_kcfg)(s), sc.lo, sc.budget, sc.max_steps),
+            )
+        });
+        let mut out = Vec::with_capacity(cells.len());
+        let mut it = traces.into_iter();
+        for (ci, cell) in cells.into_iter().enumerate() {
+            let runs: Vec<(u64, Vec<ObsEvent>)> = (0..scenarios[ci].secrets.len())
+                .map(|_| it.next().expect("one trace per (cell, secret)"))
+                .collect();
+            out.push((cell, compare_secret_runs(&runs)));
+        }
+        out
+    }
+}
+
+/// Specialise a base scenario to one matrix cell: the cell's machine
+/// replaces the scenario's, and the cell's protection setting is forced
+/// into every kernel configuration the scenario builds.
+fn apply_cell(mut scenario: NiScenario, cell: &MatrixCell) -> NiScenario {
+    scenario.mcfg = cell.mcfg.clone();
+    let tp = cell.tp;
+    let inner = scenario.make_kcfg;
+    scenario.make_kcfg = Box::new(move |secret| {
+        let mut kcfg = inner(secret);
+        kcfg.tp = tp;
+        kcfg
+    });
+    scenario
+}
+
+/// The outcome of a [`ScenarioMatrix::run`]: one [`ProofReport`] per
+/// cell, in cell order.
+#[derive(Debug)]
+pub struct MatrixReport {
+    /// Every cell with its proof report.
+    pub cells: Vec<(MatrixCell, ProofReport)>,
+}
+
+impl MatrixReport {
+    /// Cells whose proof succeeded.
+    pub fn proved(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|(_, r)| r.time_protection_proved())
+            .count()
+    }
+
+    /// Whether every fully-protected cell proved time protection.
+    pub fn full_protection_proved(&self) -> bool {
+        self.cells
+            .iter()
+            .filter(|(c, _)| c.disable.is_none())
+            .all(|(_, r)| r.time_protection_proved())
+    }
+
+    /// The ablation cells that (correctly) failed the proof, as
+    /// (cell, report) pairs — each carries a concrete leak witness.
+    pub fn leaking_ablations(&self) -> Vec<&(MatrixCell, ProofReport)> {
+        self.cells
+            .iter()
+            .filter(|(c, r)| c.disable.is_some() && !r.time_protection_proved())
+            .collect()
+    }
+}
+
+impl core::fmt::Display for MatrixReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "=== Scenario matrix: {} cells, {} proved ===",
+            self.cells.len(),
+            self.proved()
+        )?;
+        for (cell, report) in &self.cells {
+            writeln!(
+                f,
+                "  {:<28} {}  ({} steps)",
+                cell.label(),
+                if report.time_protection_proved() {
+                    "PROVED"
+                } else {
+                    "NOT proved"
+                },
+                report.steps
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_is_position_stable() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 5] {
+            let out = parallel_map(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let out: Vec<u32> = parallel_map(&[], 4, |_, x: &u32| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matrix_cells_cross_product() {
+        let m = ScenarioMatrix::new("base", MachineConfig::tiny())
+            .sweep_llc(&[(256, 1), (512, 2)])
+            .sweep_ablations();
+        assert_eq!(m.cells().len(), 3 * 7, "3 machines × (full + 6 ablations)");
+        let labels: Vec<String> = m.cells().iter().map(|c| c.label()).collect();
+        assert!(labels.contains(&"llc-512x2 / -Padding".to_string()));
+        assert!(labels.contains(&"base / full".to_string()));
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+
+    /// The engine must force `cell.tp` into the kernel configuration:
+    /// even a callback that hardcodes full protection and ignores the
+    /// cell gets leaking ablation cells.
+    #[test]
+    fn run_ni_applies_cell_protection_despite_oblivious_callback() {
+        use crate::noninterference::check_noninterference;
+        use tp_hw::types::Cycles;
+        use tp_kernel::config::{DomainSpec, KernelConfig};
+        use tp_kernel::domain::DomainId;
+        use tp_kernel::layout::data_addr;
+        use tp_kernel::program::{Instr, TraceProgram};
+
+        let make = || NiScenario {
+            mcfg: MachineConfig::single_core(),
+            make_kcfg: Box::new(|secret| {
+                let hi = TraceProgram::new(
+                    (0..secret * 40)
+                        .map(|i| Instr::Store(data_addr((i * 64) % (8 * 4096))))
+                        .collect(),
+                );
+                let mut lo = Vec::new();
+                for _ in 0..15 {
+                    for i in 0..24 {
+                        lo.push(Instr::Load(data_addr(i * 64)));
+                    }
+                    lo.push(Instr::ReadClock);
+                }
+                lo.push(Instr::Halt);
+                KernelConfig::new(vec![
+                    DomainSpec::new(Box::new(hi))
+                        .with_slice(Cycles(15_000))
+                        .with_pad(Cycles(25_000)),
+                    DomainSpec::new(Box::new(TraceProgram::new(lo)))
+                        .with_slice(Cycles(15_000))
+                        .with_pad(Cycles(25_000)),
+                ])
+                // Hardcoded full protection: the cell must override it.
+                .with_tp(TimeProtConfig::full())
+            }),
+            lo: DomainId(1),
+            secrets: vec![0, 6],
+            budget: Cycles(350_000),
+            max_steps: 150_000,
+        };
+
+        let matrix = ScenarioMatrix::new("base", MachineConfig::single_core())
+            .with_ablations(vec![None, Some(Mechanism::Padding)]);
+        let verdicts = matrix.run_ni(2, |_| make());
+        assert_eq!(verdicts.len(), 2);
+        assert!(
+            verdicts[0].1.passed(),
+            "full-protection cell must pass: {}",
+            verdicts[0].1
+        );
+        for (cell, v) in &verdicts[1..] {
+            assert!(
+                !v.passed(),
+                "{}: ablation must leak even though the callback ignored the cell",
+                cell.label()
+            );
+        }
+
+        // And each cell's verdict equals the sequential checker run on
+        // the equivalently-ablated scenario.
+        for (cell, v) in &verdicts {
+            let mut sc = make();
+            sc.make_kcfg = {
+                let tp = cell.tp;
+                let inner = make().make_kcfg;
+                Box::new(move |s| {
+                    let mut k = inner(s);
+                    k.tp = tp;
+                    k
+                })
+            };
+            assert_eq!(v, &check_noninterference(&sc), "{}", cell.label());
+        }
+    }
+}

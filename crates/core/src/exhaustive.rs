@@ -132,7 +132,10 @@ fn lo_observer() -> TraceProgram {
     TraceProgram::new(v)
 }
 
-fn run_with_hi(cfg: &ExhaustiveConfig, hi: &[Instr]) -> Vec<ObsEvent> {
+/// Run one Hi program (plus the fixed Lo observer) under `cfg` and
+/// return Lo's observation log. Public so the parallel engine can shard
+/// the enumeration and so leak witnesses can be replayed directly.
+pub fn run_with_hi(cfg: &ExhaustiveConfig, hi: &[Instr]) -> Vec<ObsEvent> {
     let mut hi_prog: Vec<Instr> = hi.to_vec();
     hi_prog.push(Instr::Halt);
     let kcfg = KernelConfig::new(vec![
@@ -153,40 +156,64 @@ fn run_with_hi(cfg: &ExhaustiveConfig, hi: &[Instr]) -> Vec<ObsEvent> {
     sys.observation(DomainId(1)).events.clone()
 }
 
+/// Number of non-empty Hi programs with length in `1..=max_len` over an
+/// alphabet of `a` symbols: `sum_{1<=k<=max_len} a^k`.
+pub fn space_size(a: usize, max_len: usize) -> usize {
+    (1..=max_len).map(|len| a.pow(len as u32)).sum()
+}
+
+/// The `index`-th Hi program in enumeration order (1-based; shorter
+/// programs first, base-`a` counting within a length, least-significant
+/// symbol first), or `None` when `index` is 0 or past the space.
+///
+/// This is the single source of truth for the enumeration order: the
+/// sequential checker walks it in order, and the parallel engine shards
+/// it by index ranges — so a `Leak { program_index }` means the same
+/// program under either driver.
+pub fn word_for_index(alphabet: &[Instr], max_len: usize, index: usize) -> Option<Vec<Instr>> {
+    let a = alphabet.len();
+    if index == 0 {
+        return None;
+    }
+    let mut offset = index - 1;
+    for len in 1..=max_len {
+        let block = a.pow(len as u32);
+        if offset < block {
+            let mut word = Vec::with_capacity(len);
+            let mut c = offset;
+            for _ in 0..len {
+                word.push(alphabet[c % a]);
+                c /= a;
+            }
+            return Some(word);
+        }
+        offset -= block;
+    }
+    None
+}
+
 /// Enumerate every Hi program up to `cfg.max_len` and compare Lo traces
 /// against the empty-program baseline.
 pub fn check_exhaustive(cfg: &ExhaustiveConfig) -> ExhaustiveVerdict {
     let baseline = run_with_hi(cfg, &[]);
-    let a = cfg.alphabet.len();
-    let mut programs_checked = 1;
-    let mut index = 0usize;
+    let total = space_size(cfg.alphabet.len(), cfg.max_len);
 
-    for len in 1..=cfg.max_len {
-        // Count in base `a` over the alphabet.
-        let total = a.pow(len as u32);
-        for code in 0..total {
-            index += 1;
-            let mut word = Vec::with_capacity(len);
-            let mut c = code;
-            for _ in 0..len {
-                word.push(cfg.alphabet[c % a]);
-                c /= a;
-            }
-            let trace = run_with_hi(cfg, &word);
-            programs_checked += 1;
-            if let Some(div) = crate::noninterference::first_divergence(&baseline, &trace) {
-                return ExhaustiveVerdict::Leak {
-                    program_index: index,
-                    witness: word,
-                    divergence: div,
-                    baseline_event: baseline.get(div).copied(),
-                    witness_event: trace.get(div).copied(),
-                };
-            }
+    for index in 1..=total {
+        let word = word_for_index(&cfg.alphabet, cfg.max_len, index)
+            .expect("index is within the enumerated space");
+        let trace = run_with_hi(cfg, &word);
+        if let Some(div) = crate::noninterference::first_divergence(&baseline, &trace) {
+            return ExhaustiveVerdict::Leak {
+                program_index: index,
+                witness: word,
+                divergence: div,
+                baseline_event: baseline.get(div).copied(),
+                witness_event: trace.get(div).copied(),
+            };
         }
     }
     ExhaustiveVerdict::Pass {
-        programs: programs_checked,
+        programs: total + 1,
     }
 }
 

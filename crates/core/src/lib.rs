@@ -19,6 +19,11 @@
 //!   hardware contract ([`tp_hw::aisa`]) and quantified over a family of
 //!   time models ([`proof::default_time_models`]) to realise §5.1's
 //!   "deterministic yet unspecified function" argument.
+//! * **[`engine`]** — the scenario-matrix proof engine: shards the
+//!   (time-model × secret) product of [`proof::prove`] and the
+//!   Hi-program enumeration of [`exhaustive`] across a std-thread
+//!   worker pool with bit-identical results, and sweeps whole families
+//!   of machine/ablation configurations in one call.
 //!
 //! Where the paper envisions Isabelle/HOL proofs, this crate *checks*
 //! the same obligations mechanically over executions of the modelled
@@ -68,6 +73,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod exhaustive;
 pub mod flush;
 pub mod noninterference;
@@ -77,6 +83,10 @@ pub mod partition;
 pub mod proof;
 pub mod wcet;
 
+pub use engine::{
+    available_threads, check_exhaustive_parallel, prove_parallel, MatrixCell, MatrixReport,
+    ScenarioMatrix,
+};
 pub use exhaustive::{check_exhaustive, ExhaustiveConfig, ExhaustiveVerdict};
 pub use noninterference::{check_noninterference, NiScenario, NiVerdict};
 pub use obligation::{ObligationResult, Violation, ViolationKind};

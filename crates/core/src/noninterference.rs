@@ -39,8 +39,10 @@ use tp_kernel::kernel::{StepEvent, System};
 pub struct NiScenario {
     /// Machine configuration (shared by all secrets).
     pub mcfg: MachineConfig,
-    /// Builds the kernel configuration for a given secret.
-    pub make_kcfg: Box<dyn Fn(u64) -> KernelConfig>,
+    /// Builds the kernel configuration for a given secret. `Send + Sync`
+    /// so the engine can shard the (time-model × secret) product across
+    /// worker threads ([`crate::engine`]).
+    pub make_kcfg: Box<dyn Fn(u64) -> KernelConfig + Send + Sync>,
     /// The observer domain.
     pub lo: DomainId,
     /// The secrets to enumerate.
@@ -188,22 +190,40 @@ pub fn check_noninterference(sc: &NiScenario) -> NiVerdict {
 /// different time models) without rebuilding the scenario.
 pub fn check_ni_parts(
     mcfg: &MachineConfig,
-    make_kcfg: &dyn Fn(u64) -> KernelConfig,
+    make_kcfg: &(dyn Fn(u64) -> KernelConfig + Send + Sync),
     lo: DomainId,
     secrets: &[u64],
     budget: Cycles,
     max_steps: usize,
 ) -> NiVerdict {
     assert!(secrets.len() >= 2, "need at least two secrets to compare");
-    let mut runs: Vec<(u64, Vec<ObsEvent>)> = Vec::with_capacity(secrets.len());
-    for &s in secrets {
-        let kcfg = make_kcfg(s);
-        let mut sys = System::new(mcfg.clone(), kcfg)
-            .expect("scenario construction must succeed for every secret");
-        sys.run_cycles(budget, max_steps);
-        runs.push((s, sys.observation(lo).events.clone()));
-    }
+    let runs: Vec<(u64, Vec<ObsEvent>)> = secrets
+        .iter()
+        .map(|&s| (s, lo_trace(mcfg, make_kcfg(s), lo, budget, max_steps)))
+        .collect();
+    compare_secret_runs(&runs)
+}
 
+/// Build and run one system, returning Lo's observation log — the unit
+/// of work the replay checker (and the parallel engine) is made of.
+pub fn lo_trace(
+    mcfg: &MachineConfig,
+    kcfg: KernelConfig,
+    lo: DomainId,
+    budget: Cycles,
+    max_steps: usize,
+) -> Vec<ObsEvent> {
+    let mut sys = System::new(mcfg.clone(), kcfg)
+        .expect("scenario construction must succeed for every secret");
+    sys.run_cycles(budget, max_steps);
+    sys.observation(lo).events.clone()
+}
+
+/// Compare per-secret observation logs (first run is the baseline) and
+/// produce the NI verdict. Shared by the sequential checker and the
+/// engine's deterministic merge, so both report identical verdicts.
+pub fn compare_secret_runs(runs: &[(u64, Vec<ObsEvent>)]) -> NiVerdict {
+    assert!(runs.len() >= 2, "need at least two secrets to compare");
     let (s0, ref base) = runs[0];
     let mut compared = base.len();
     for (s, obs) in runs.iter().skip(1) {

@@ -1,0 +1,123 @@
+//! Property tests for the scenario matrix: every cell the sweep
+//! generates must be *constructible* — the machine passes
+//! `aisa::check_conformance` without panicking and the kernel accepts
+//! the configuration (`System::new`) for every secret. A sweep that
+//! emits invalid cells would silently hollow out the matrix proof.
+
+use proptest::prelude::*;
+
+use tp_core::engine::ScenarioMatrix;
+use tp_core::noninterference::NiScenario;
+use tp_hw::aisa::check_conformance;
+use tp_hw::machine::MachineConfig;
+use tp_hw::types::Cycles;
+use tp_kernel::config::{DomainSpec, KernelConfig};
+use tp_kernel::domain::DomainId;
+use tp_kernel::layout::data_addr;
+use tp_kernel::program::{Instr, TraceProgram};
+
+/// A small two-domain scenario compatible with any machine the sweep
+/// produces (few pages, modest budget).
+fn small_scenario(tp: tp_kernel::config::TimeProtConfig) -> NiScenario {
+    NiScenario {
+        mcfg: MachineConfig::single_core(),
+        make_kcfg: Box::new(move |secret| {
+            let hi = TraceProgram::new(
+                (0..secret * 16)
+                    .map(|i| Instr::Store(data_addr((i * 64) % (4 * 4096))))
+                    .collect(),
+            );
+            let mut lo = Vec::new();
+            for i in 0..32 {
+                lo.push(Instr::Load(data_addr(i * 64)));
+            }
+            lo.push(Instr::ReadClock);
+            lo.push(Instr::Halt);
+            KernelConfig::new(vec![
+                DomainSpec::new(Box::new(hi))
+                    .with_data_pages(4)
+                    .with_code_pages(1),
+                DomainSpec::new(Box::new(TraceProgram::new(lo)))
+                    .with_data_pages(4)
+                    .with_code_pages(1),
+            ])
+            .with_tp(tp)
+        }),
+        lo: DomainId(1),
+        secrets: vec![0, 3],
+        budget: Cycles(120_000),
+        max_steps: 60_000,
+    }
+}
+
+/// LLC geometries with at least 4 page colours (sets / 64 ≥ 4), the
+/// floor for two coloured domains plus the kernel.
+fn llc_strategy() -> impl Strategy<Value = (usize, usize)> {
+    (
+        prop_oneof![
+            Just(256usize),
+            Just(512usize),
+            Just(1024usize),
+            Just(2048usize)
+        ],
+        prop_oneof![Just(1usize), Just(2usize), Just(4usize), Just(8usize)],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated cell passes kernel-config validation and the
+    /// aISA conformance check runs without panicking.
+    #[test]
+    fn all_matrix_cells_are_constructible(
+        geoms in prop::collection::vec(llc_strategy(), 0..4),
+        cores in prop::collection::vec(prop_oneof![Just(1usize), Just(2usize), Just(4usize)], 0..3),
+        sweep_ablations in any::<bool>(),
+    ) {
+        let mut matrix = ScenarioMatrix::new("base", MachineConfig::single_core())
+            .sweep_llc(&geoms)
+            .sweep_cores(&cores);
+        if sweep_ablations {
+            matrix = matrix.sweep_ablations();
+        }
+        let cells = matrix.cells();
+        let expected_cells =
+            (1 + geoms.len() + cores.len()) * if sweep_ablations { 7 } else { 1 };
+        prop_assert_eq!(cells.len(), expected_cells);
+
+        let validated = matrix
+            .validate(|cell| small_scenario(cell.tp))
+            .expect("every generated cell must construct");
+        prop_assert_eq!(validated, cells.len() * 2, "two secrets per cell");
+
+        // Conformance must also run standalone on each swept machine
+        // (validate() already calls it; this pins the public surface).
+        for cell in &cells {
+            let report = check_conformance(&cell.mcfg);
+            prop_assert!(!report.verdicts.is_empty());
+        }
+    }
+}
+
+/// The tiny machine has 4 colours — exactly the floor for 2 domains +
+/// kernel — so it must still validate across all ablations.
+#[test]
+fn tiny_machine_matrix_validates() {
+    let matrix = ScenarioMatrix::new("tiny", MachineConfig::tiny()).sweep_ablations();
+    let validated = matrix
+        .validate(|cell| small_scenario(cell.tp))
+        .expect("tiny machine cells must construct");
+    assert_eq!(validated, 7 * 2);
+}
+
+/// A sweep below the colour floor must be *reported* (not panic): the
+/// kernel rejects it and validate surfaces the failing cell.
+#[test]
+fn undersized_llc_is_rejected_cleanly() {
+    let matrix = ScenarioMatrix::new("base", MachineConfig::single_core()).sweep_llc(&[(128, 2)]);
+    let err = matrix
+        .validate(|cell| small_scenario(cell.tp))
+        .expect_err("128-set LLC has 2 colours: too few for 2 domains + kernel");
+    assert!(err.contains("llc-128x2"), "error names the cell: {err}");
+}

@@ -2,26 +2,33 @@
 //!
 //! Discharges the paper's §5 proof obligations over the canonical
 //! omnibus scenario (every channel exercised at once), quantified over a
-//! family of time models, and then shows the ablation: remove any one §4
-//! mechanism and the checker produces a concrete leak witness.
+//! family of time models and sharded across the proof engine's worker
+//! pool, and then shows the ablation: remove any one §4 mechanism and
+//! the checker produces a concrete leak witness. The ablation sweep is a
+//! single [`ScenarioMatrix`] run.
 //!
 //! ```sh
 //! cargo run --release --example prove
 //! ```
 
-use time_protection::core::{check_noninterference, default_time_models, prove};
-use time_protection::kernel::config::Mechanism;
+use time_protection::core::engine::{available_threads, prove_parallel};
+use time_protection::core::{default_time_models, ScenarioMatrix};
 
 fn main() {
-    println!("== Discharging the proof obligations of §5 ==\n");
+    let threads = available_threads();
+    println!("== Discharging the proof obligations of §5 ({threads} worker threads) ==\n");
     let scenario = tp_bench::canonical_scenario(None);
-    let report = prove(&scenario, &default_time_models());
+    let report = prove_parallel(&scenario, &default_time_models(), threads);
     println!("{report}");
 
-    println!("== Ablation: every mechanism is load-bearing ==\n");
-    for m in Mechanism::ALL {
-        let verdict = check_noninterference(&tp_bench::canonical_scenario(Some(m)));
-        println!("without {m:?}: {verdict}");
+    println!("== Ablation: every mechanism is load-bearing (one matrix run) ==\n");
+    let matrix = ScenarioMatrix::new("canonical", tp_bench::canonical_machine()).sweep_ablations();
+    let ablations = matrix.run_ni(threads, |cell| tp_bench::canonical_scenario(cell.disable));
+    for (cell, verdict) in &ablations {
+        match cell.disable {
+            Some(m) => println!("without {m:?}: {verdict}"),
+            None => println!("with everything on: {verdict}"),
+        }
     }
 
     println!();
