@@ -88,19 +88,19 @@ impl ChannelMatrix {
         let nf = n as f64;
         let mut p_in = vec![0.0; self.inputs];
         let mut p_out = vec![0.0; self.outputs];
-        for i in 0..self.inputs {
-            for o in 0..self.outputs {
+        for (i, pi) in p_in.iter_mut().enumerate() {
+            for (o, po) in p_out.iter_mut().enumerate() {
                 let c = self.count(i, o) as f64 / nf;
-                p_in[i] += c;
-                p_out[o] += c;
+                *pi += c;
+                *po += c;
             }
         }
         let mut mi = 0.0;
-        for i in 0..self.inputs {
-            for o in 0..self.outputs {
+        for (i, &pi) in p_in.iter().enumerate() {
+            for (o, &po) in p_out.iter().enumerate() {
                 let p = self.count(i, o) as f64 / nf;
                 if p > 0.0 {
-                    mi += p * (p / (p_in[i] * p_out[o])).log2();
+                    mi += p * (p / (pi * po)).log2();
                 }
             }
         }

@@ -205,10 +205,7 @@ pub fn latencies(clocks: &[Cycles]) -> Vec<u64> {
 /// sweeps are dropped.
 pub fn sweep_latencies(clocks: &[Cycles], sets: usize) -> Vec<Vec<u64>> {
     let per = sets + 1;
-    clocks
-        .chunks_exact(per)
-        .map(|chunk| latencies(chunk))
-        .collect()
+    clocks.chunks_exact(per).map(latencies).collect()
 }
 
 /// Per-set minimum latency across sweeps, skipping the first

@@ -83,7 +83,6 @@ fn main() {
         engine::prove_parallel(
             &tp_bench::canonical_scenario(None),
             &tp_core::default_time_models(),
-            engine::available_threads(),
         )
     });
 
@@ -125,12 +124,9 @@ fn main() {
         })
     });
     bench("e14_exhaustive/length_2_parallel", 5, || {
-        engine::check_exhaustive_parallel(
-            &ExhaustiveConfig {
-                max_len: 2,
-                ..ExhaustiveConfig::small(TimeProtConfig::full())
-            },
-            engine::available_threads(),
-        )
+        engine::check_exhaustive_parallel(&ExhaustiveConfig {
+            max_len: 2,
+            ..ExhaustiveConfig::small(TimeProtConfig::full())
+        })
     });
 }

@@ -1,6 +1,44 @@
 //! Regenerate every experiment report (the full EXPERIMENTS.md body),
 //! then run the whole proof surface once more as a scenario matrix.
+//! Every parallel phase shares the one persistent worker pool.
+//!
+//! ```sh
+//! all [--threads N] [--cells SPEC] [--models N]
+//! ```
+//!
+//! `--cells` / `--models` shape the final matrix phase (the E1–E14
+//! reports are fixed-size); `--threads` sizes the pool for everything.
+
+use tp_bench::cli::SweepArgs;
+
 fn main() {
+    let args = match SweepArgs::parse(std::env::args().skip(1)) {
+        Ok(a) if !a.worker && a.merge.is_empty() => a,
+        Ok(_) => {
+            eprintln!("all: --worker/--merge are matrix-only modes (use bin/matrix)");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("all: {e}");
+            eprintln!("usage: all [--threads N] [--cells SPEC] [--models N]");
+            std::process::exit(2);
+        }
+    };
+    if let Some(n) = args.threads {
+        tp_sched::configure_global_threads(n);
+    }
+
+    // Validate the matrix selection up front: a bad --cells index must
+    // fail in milliseconds, not after the full E1–E14 report phase.
+    let matrix = tp_bench::shaped_matrix(args.models);
+    let indices = match args.select_cells(matrix.cells().len()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("all: {e}");
+            std::process::exit(2);
+        }
+    };
+
     println!("=== aISA conformance ===");
     print!("{}", tp_bench::report_aisa());
     for (i, r) in [
@@ -25,6 +63,13 @@ fn main() {
         println!("\n=== E{} ===", i + 1);
         print!("{r}");
     }
+
     println!("\n=== Scenario matrix (the suite as one engine run) ===");
-    print!("{}", tp_bench::report_matrix());
+    let proved = tp_bench::run_matrix_cells(&matrix, &indices, |line| eprintln!("{line}"));
+    print!(
+        "{}",
+        tp_bench::render_matrix_report(&tp_core::MatrixReport {
+            cells: proved.into_iter().map(|(_, c, r)| (c, r)).collect(),
+        })
+    );
 }

@@ -1,5 +1,82 @@
 //! The omnibus scenario-matrix run: every machine variant × every
-//! protection setting × every time model, proved in one engine call.
+//! protection setting × every time model, flattened into one submission
+//! on the persistent worker pool — with scale-out modes for sharding a
+//! sweep across processes or hosts.
+//!
+//! ```sh
+//! # single process, whole sweep (per-cell progress streams to stderr)
+//! matrix [--threads N] [--cells SPEC] [--models N]
+//!
+//! # shard across two processes, then merge — byte-identical output
+//! matrix --worker --cells 0..11  > a.txt
+//! matrix --worker --cells 11..21 > b.txt
+//! matrix --merge a.txt b.txt
+//! ```
+
+use tp_bench::cli::SweepArgs;
+
 fn main() {
-    print!("{}", tp_bench::report_matrix());
+    let args = match SweepArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("matrix: {e}");
+            eprintln!(
+                "usage: matrix [--threads N] [--cells SPEC] [--models N] \
+                 [--worker | --merge FILE...]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Some(n) = args.threads {
+        tp_sched::configure_global_threads(n);
+    }
+
+    // Merge mode touches no scenario — it only reassembles records.
+    if !args.merge.is_empty() {
+        let shards: Vec<String> = args
+            .merge
+            .iter()
+            .map(|path| {
+                std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("matrix: cannot read {path}: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        match tp_bench::merge_matrix_records(&shards) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("matrix: merge failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let matrix = tp_bench::shaped_matrix(args.models);
+    let indices = match args.select_cells(matrix.cells().len()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("matrix: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let proved = tp_bench::run_matrix_cells(&matrix, &indices, |line| eprintln!("{line}"));
+
+    if args.worker {
+        // Wire records only on stdout: shard outputs concatenate.
+        let mut out = String::new();
+        for (i, cell, report) in &proved {
+            tp_core::wire::write_cell(&mut out, *i, cell, report);
+        }
+        print!("{out}");
+    } else {
+        print!(
+            "{}",
+            tp_bench::render_matrix_report(&tp_core::MatrixReport {
+                cells: proved.into_iter().map(|(_, c, r)| (c, r)).collect(),
+            })
+        );
+    }
 }

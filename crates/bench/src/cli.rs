@@ -1,0 +1,186 @@
+//! Plain `std::env::args` flag parsing for the sweep binaries.
+//!
+//! `bin/matrix` and `bin/all` accept the same sweep-shaping flags
+//! instead of hardcoding their fan-out:
+//!
+//! * `--threads N` — size of the process-wide worker pool (must come
+//!   before the first sweep runs; applied via
+//!   `tp_sched::configure_global_threads`).
+//! * `--cells SPEC` — restrict the matrix to the given cell indices,
+//!   e.g. `--cells 0..7`, `--cells 3`, `--cells 0..4,9,12..14`
+//!   (`a..b` is half-open). This is also how a sweep is sharded across
+//!   processes: give each worker a disjoint slice.
+//! * `--models N` — use only the first `N` of the default time models.
+//!
+//! `bin/matrix` additionally understands the scale-out modes:
+//!
+//! * `--worker` — prove the selected cells and print wire records
+//!   (`tp_core::wire`) to stdout instead of a report.
+//! * `--merge FILE...` — parse worker outputs and print the merged
+//!   report, identical to a single-process run over the same cells.
+
+/// Parsed command line for the sweep binaries.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// `--threads N`.
+    pub threads: Option<usize>,
+    /// `--cells SPEC`, expanded to explicit indices (ascending, unique).
+    pub cells: Option<Vec<usize>>,
+    /// `--models N`.
+    pub models: Option<usize>,
+    /// `--worker`.
+    pub worker: bool,
+    /// `--merge FILE...` (everything after the flag).
+    pub merge: Vec<String>,
+}
+
+impl SweepArgs {
+    /// Parse `args` (without the program name). Returns an error string
+    /// suitable for printing next to the usage text.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<SweepArgs, String> {
+        let mut out = SweepArgs::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let v = args.next().ok_or("--threads needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --threads {v:?}"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    out.threads = Some(n);
+                }
+                "--cells" => {
+                    let v = args.next().ok_or("--cells needs a value")?;
+                    out.cells = Some(parse_cell_spec(&v)?);
+                }
+                "--models" => {
+                    let v = args.next().ok_or("--models needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --models {v:?}"))?;
+                    if n == 0 {
+                        return Err("--models must be at least 1".into());
+                    }
+                    out.models = Some(n);
+                }
+                "--worker" => out.worker = true,
+                "--merge" => {
+                    out.merge.extend(args.by_ref());
+                    if out.merge.is_empty() {
+                        return Err("--merge needs at least one file".into());
+                    }
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        if out.worker && !out.merge.is_empty() {
+            return Err("--worker and --merge are mutually exclusive".into());
+        }
+        Ok(out)
+    }
+
+    /// The cell indices to run given a matrix of `total` cells: the
+    /// `--cells` selection (validated against `total`) or all of them.
+    pub fn select_cells(&self, total: usize) -> Result<Vec<usize>, String> {
+        match &self.cells {
+            None => Ok((0..total).collect()),
+            Some(sel) => {
+                if let Some(&bad) = sel.iter().find(|&&i| i >= total) {
+                    return Err(format!(
+                        "--cells index {bad} out of range (matrix has {total} cells)"
+                    ));
+                }
+                Ok(sel.clone())
+            }
+        }
+    }
+}
+
+/// Expand a cell spec: comma-separated indices and half-open `a..b`
+/// ranges, e.g. `0..4,9,12..14` → `[0,1,2,3,9,12,13]`. Duplicates are
+/// rejected so shard specs cannot silently double-prove a cell.
+pub fn parse_cell_spec(spec: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(format!("empty segment in cell spec {spec:?}"));
+        }
+        if let Some((a, b)) = part.split_once("..") {
+            let a: usize = a.parse().map_err(|_| format!("bad range start {a:?}"))?;
+            let b: usize = b.parse().map_err(|_| format!("bad range end {b:?}"))?;
+            if a >= b {
+                return Err(format!("empty range {part:?}"));
+            }
+            out.extend(a..b);
+        } else {
+            out.push(
+                part.parse()
+                    .map_err(|_| format!("bad cell index {part:?}"))?,
+            );
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for &i in &out {
+        if !seen.insert(i) {
+            return Err(format!("cell index {i} selected twice in {spec:?}"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> impl Iterator<Item = String> {
+        v.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_sweep_shaping_flags() {
+        let a = SweepArgs::parse(strs(&[
+            "--threads",
+            "4",
+            "--cells",
+            "0..3,7",
+            "--models",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.cells, Some(vec![0, 1, 2, 7]));
+        assert_eq!(a.models, Some(2));
+        assert!(!a.worker);
+    }
+
+    #[test]
+    fn parses_worker_and_merge_modes() {
+        let w = SweepArgs::parse(strs(&["--worker", "--cells", "5"])).unwrap();
+        assert!(w.worker);
+        let m = SweepArgs::parse(strs(&["--merge", "a.txt", "b.txt"])).unwrap();
+        assert_eq!(m.merge, vec!["a.txt", "b.txt"]);
+        assert!(SweepArgs::parse(strs(&["--worker", "--merge", "a"])).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse_cell_spec("3..3").is_err());
+        assert!(parse_cell_spec("1,1").is_err());
+        assert!(parse_cell_spec("x").is_err());
+        assert!(parse_cell_spec("0..2,1").is_err(), "overlap is a duplicate");
+        assert!(SweepArgs::parse(strs(&["--threads", "0"])).is_err());
+        assert!(SweepArgs::parse(strs(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn select_cells_validates_range() {
+        let a = SweepArgs::parse(strs(&["--cells", "18..21"])).unwrap();
+        assert_eq!(a.select_cells(21).unwrap(), vec![18, 19, 20]);
+        assert!(a.select_cells(19).is_err());
+        let none = SweepArgs::default();
+        assert_eq!(none.select_cells(3).unwrap(), vec![0, 1, 2]);
+    }
+}

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use std::fmt::Write as _;
 
 use tp_attacks::channel::ChannelMatrix;
@@ -217,14 +219,10 @@ pub fn report_e6(trials: usize) -> String {
 }
 
 /// E7: the proof harness on the canonical scenario, sharded over the
-/// (time-model × secret) product by the engine.
+/// (time-model × secret) product on the persistent worker pool.
 pub fn report_e7() -> String {
     let scenario = canonical_scenario(None);
-    let report = tp_core::engine::prove_parallel(
-        &scenario,
-        &tp_core::default_time_models(),
-        tp_core::engine::available_threads(),
-    );
+    let report = tp_core::engine::prove_parallel(&scenario, &tp_core::default_time_models());
     let mut out = String::new();
     writeln!(out, "E7: discharging the §5 proof obligations").unwrap();
     write!(out, "{report}").unwrap();
@@ -564,9 +562,7 @@ pub fn report_e11() -> String {
     .unwrap();
     writeln!(out, "  {:>20} | verdict", "disabled").unwrap();
     let matrix = tp_core::ScenarioMatrix::new("canonical", canonical_machine()).sweep_ablations();
-    let verdicts = matrix.run_ni(tp_core::engine::available_threads(), |cell| {
-        canonical_scenario(cell.disable)
-    });
+    let verdicts = matrix.run_ni(|cell| canonical_scenario(cell.disable));
     for (cell, verdict) in &verdicts {
         let label = match cell.disable {
             Some(m) => format!("{m:?}"),
@@ -580,7 +576,7 @@ pub fn report_e11() -> String {
 /// E14: exhaustive small-scope model checking — quantify over *all* Hi
 /// programs up to a length bound, not just hand-picked secrets.
 pub fn report_e14(max_len: usize) -> String {
-    use tp_core::engine::{available_threads, check_exhaustive_parallel};
+    use tp_core::engine::check_exhaustive_parallel;
     use tp_core::exhaustive::ExhaustiveConfig;
     let mut out = String::new();
     writeln!(
@@ -588,23 +584,16 @@ pub fn report_e14(max_len: usize) -> String {
         "E14: exhaustive small-scope check (all Hi programs, length <= {max_len})"
     )
     .unwrap();
-    let threads = available_threads();
-    let full = check_exhaustive_parallel(
-        &ExhaustiveConfig {
-            max_len,
-            ..ExhaustiveConfig::small(TimeProtConfig::full())
-        },
-        threads,
-    );
+    let full = check_exhaustive_parallel(&ExhaustiveConfig {
+        max_len,
+        ..ExhaustiveConfig::small(TimeProtConfig::full())
+    });
     writeln!(out, "  full protection : {full}").unwrap();
     for m in [Mechanism::Flush, Mechanism::Padding, Mechanism::KernelClone] {
-        let v = check_exhaustive_parallel(
-            &ExhaustiveConfig {
-                max_len,
-                ..ExhaustiveConfig::small(TimeProtConfig::full_without(m))
-            },
-            threads,
-        );
+        let v = check_exhaustive_parallel(&ExhaustiveConfig {
+            max_len,
+            ..ExhaustiveConfig::small(TimeProtConfig::full_without(m))
+        });
         writeln!(out, "  without {m:?}: {v}").unwrap();
     }
     writeln!(
@@ -621,18 +610,59 @@ pub fn report_e14(max_len: usize) -> String {
 /// The omnibus scenario-matrix run: the canonical scenario proved over
 /// a sweep of LLC geometries, core counts and mechanism ablations under
 /// the full time-model family — the whole experiment suite's proof
-/// surface as one engine call.
+/// surface flattened into one submission on the persistent pool.
 pub fn report_matrix() -> String {
-    let threads = tp_core::engine::available_threads();
     let matrix = canonical_matrix();
-    let report = matrix.run(threads, |cell| canonical_scenario(cell.disable));
+    let all: Vec<usize> = (0..matrix.cells().len()).collect();
+    let proved = run_matrix_cells(&matrix, &all, |_| {});
+    render_matrix_report(&tp_core::MatrixReport {
+        cells: proved.into_iter().map(|(_, c, r)| (c, r)).collect(),
+    })
+}
+
+/// Prove the canonical scenario on the cells at `indices` of `matrix`,
+/// flattened into one pool submission, streaming one progress line per
+/// finished cell (in deterministic order) to `progress`. `bin/matrix`
+/// points `progress` at stderr so long sweeps show life without
+/// disturbing the report (or wire records) on stdout.
+pub fn run_matrix_cells(
+    matrix: &tp_core::ScenarioMatrix,
+    indices: &[usize],
+    mut progress: impl FnMut(&str),
+) -> Vec<(usize, tp_core::MatrixCell, tp_core::ProofReport)> {
+    let total = indices.len();
+    let mut done = 0usize;
+    matrix.run_subset_streamed(
+        tp_sched::global(),
+        indices,
+        |cell| canonical_scenario(cell.disable),
+        |ci, cell, r| {
+            done += 1;
+            progress(&format!(
+                "[{done}/{total}] cell {ci}: {:<28} {}",
+                cell.label(),
+                if r.time_protection_proved() {
+                    "PROVED"
+                } else {
+                    "NOT proved"
+                }
+            ));
+        },
+    )
+}
+
+/// Render a [`tp_core::MatrixReport`] the way `bin/matrix` prints it.
+/// Shared by the single-process path and the multi-process merge path,
+/// which is what makes a merged sharded sweep byte-identical to a
+/// single-process run.
+pub fn render_matrix_report(report: &tp_core::MatrixReport) -> String {
+    let models = report.cells.first().map(|(_, r)| r.ni.len()).unwrap_or(0);
     let mut out = String::new();
     writeln!(
         out,
-        "Scenario matrix: {} cells × {} time models ({} worker threads)",
-        matrix.cells().len(),
-        matrix.models().len(),
-        threads
+        "Scenario matrix: {} cells × {} time models",
+        report.cells.len(),
+        models
     )
     .unwrap();
     write!(out, "{report}").unwrap();
@@ -662,6 +692,35 @@ pub fn canonical_matrix() -> tp_core::ScenarioMatrix {
     tp_core::ScenarioMatrix::new("canonical", canonical_machine())
         .sweep_llc(&[(512, 2), (1024, 1)])
         .sweep_ablations()
+}
+
+/// [`canonical_matrix`], optionally restricted to the first `models`
+/// default time models (the `--models` flag). Every process of a
+/// sharded sweep must build the matrix with the same value here, or the
+/// shards would prove different sweeps.
+pub fn shaped_matrix(models: Option<usize>) -> tp_core::ScenarioMatrix {
+    let matrix = canonical_matrix();
+    match models {
+        None => matrix,
+        Some(n) => {
+            let family = tp_core::default_time_models();
+            let n = n.min(family.len());
+            matrix.with_models(family[..n].to_vec())
+        }
+    }
+}
+
+/// Merge `sched-worker` wire outputs into the final matrix report —
+/// byte-identical to a single-process run over the union of the
+/// shards' cells (the shared [`render_matrix_report`] guarantees the
+/// rendering, [`tp_core::wire`] the contents).
+pub fn merge_matrix_records(shards: &[String]) -> Result<String, tp_core::wire::WireError> {
+    let mut cells = Vec::new();
+    for text in shards {
+        cells.extend(tp_core::wire::parse_cells(text)?);
+    }
+    let report = tp_core::wire::merge_cells(cells)?;
+    Ok(render_matrix_report(&report))
 }
 
 /// The aISA conformance report for the standard machines.

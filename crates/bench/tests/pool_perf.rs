@@ -1,0 +1,62 @@
+//! Acceptance test for the persistent scheduler: on the E11 ablation
+//! sweep (the canonical matrix's `run_ni`), the `tp-sched` pool path
+//! must be **no slower** than the legacy scoped spawn-per-call path —
+//! amortising thread spawns across submissions is the pool's whole
+//! reason to exist.
+//!
+//! The comparison self-calibrates instead of hardcoding an absolute
+//! budget: both paths run the identical sweep, each timed best-of-N on
+//! this host, and the assertion is relative (pool ≤ scoped × margin).
+//! The margin plus a retry loop absorbs scheduler noise on shared CI
+//! runners; a *sustained* slowdown across attempts — an actual
+//! scheduler regression — still fails.
+
+use tp_bench::{canonical_machine, canonical_scenario, time_iters};
+use tp_core::ScenarioMatrix;
+use tp_sched::{available_threads, WorkerPool};
+
+fn ablation_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new("canonical", canonical_machine()).sweep_ablations()
+}
+
+#[test]
+fn pool_is_no_slower_than_scoped_on_the_e11_ablation_sweep() {
+    let threads = available_threads();
+    let pool = WorkerPool::new(threads);
+
+    // Functional gate first: both paths must produce identical
+    // verdicts, or timing them is meaningless.
+    let scoped = ablation_matrix().run_ni_scoped(threads, |cell| canonical_scenario(cell.disable));
+    let pooled = ablation_matrix().run_ni_on(&pool, |cell| canonical_scenario(cell.disable));
+    assert_eq!(scoped, pooled, "pool and scoped sweeps must agree");
+
+    // Self-calibrating relative comparison, best-of-3 per side per
+    // attempt. The pool keeps its workers warm across the iterations —
+    // exactly the bin/all usage pattern it exists for.
+    let margin = 1.35;
+    let mut ratios = Vec::new();
+    for attempt in 0..3 {
+        let t_scoped = time_iters(3, || {
+            ablation_matrix().run_ni_scoped(threads, |cell| canonical_scenario(cell.disable))
+        })
+        .1;
+        let t_pool = time_iters(3, || {
+            ablation_matrix().run_ni_on(&pool, |cell| canonical_scenario(cell.disable))
+        })
+        .1;
+        let ratio = t_pool.as_secs_f64() / t_scoped.as_secs_f64();
+        eprintln!(
+            "attempt {attempt}: scoped {t_scoped:?}, pool {t_pool:?} on {threads} threads \
+             (pool/scoped = {ratio:.3})"
+        );
+        ratios.push(ratio);
+        if ratio <= margin {
+            return;
+        }
+    }
+    panic!(
+        "pool path was slower than the scoped path in every attempt \
+         (pool/scoped ratios {ratios:?}, allowed margin {margin}); \
+         the persistent scheduler has regressed"
+    );
+}

@@ -6,8 +6,9 @@
 //! workload: the (time-model × secret) product of [`crate::proof::prove`]
 //! and the Hi-program enumeration of [`crate::exhaustive`] are both
 //! embarrassingly parallel, and every run is deterministic. This module
-//! shards them across a std-thread worker pool while keeping results
-//! **bit-identical** to the sequential checkers:
+//! flattens them into task lists for the persistent `tp-sched` worker
+//! pool while keeping results **bit-identical** to the sequential
+//! checkers:
 //!
 //! * [`prove_parallel`] — shards monitored runs and NI replays per
 //!   (model, secret), then merges P/F/T evidence and verdicts in the
@@ -17,13 +18,24 @@
 //!   is precisely the sequential first-witness.
 //! * [`ScenarioMatrix`] — builds the cross product of machine
 //!   configurations (cache geometry, core counts), mechanism ablations
-//!   and time models, and proves every cell in one call.
+//!   and time models, flattens the whole sweep into **one**
+//!   (cell × model × secret) task list, and proves every cell in one
+//!   submission. [`ScenarioMatrix::run_streamed`] additionally hands
+//!   each cell's report to the caller in deterministic cell order as
+//!   soon as it completes, so report generators can stream.
+//!
+//! Each driver comes in three flavours sharing one task/merge core:
+//! the default (the process-wide [`tp_sched::global`] pool — no per-call
+//! thread spawning), an `_on` variant taking an explicit
+//! [`WorkerPool`], and a `_scoped` variant that spawns a scoped pool
+//! per call (the pre-`tp-sched` behaviour, kept as a comparison
+//! baseline for the determinism and performance harnesses).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::exhaustive::{
-    run_with_hi, space_size, word_for_index, ExhaustiveConfig, ExhaustiveVerdict,
+    space_size, word_for_index, ExhaustiveConfig, ExhaustiveRunner, ExhaustiveVerdict,
 };
 use crate::noninterference::{
     compare_secret_runs, first_divergence, lo_trace, run_monitored, NiScenario, NiVerdict,
@@ -34,25 +46,25 @@ use tp_hw::aisa::check_conformance;
 use tp_hw::cache::CacheConfig;
 use tp_hw::clock::TimeModel;
 use tp_hw::machine::MachineConfig;
-use tp_kernel::config::{Mechanism, TimeProtConfig};
-use tp_kernel::domain::ObsEvent;
+use tp_hw::types::Cycles;
+use tp_kernel::config::{KernelConfig, Mechanism, TimeProtConfig};
+use tp_kernel::domain::{DomainId, ObsEvent};
 use tp_kernel::kernel::System;
 use tp_kernel::program::Instr;
+use tp_sched::WorkerPool;
 
-/// The number of worker threads the host offers (≥ 1).
-pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+pub use tp_sched::available_threads;
 
 /// Map `f` over `items` on a pool of `threads` scoped worker threads,
 /// returning results in item order. Workers claim items through an
 /// atomic cursor, so scheduling is dynamic but the output is
 /// position-stable — the foundation of the engine's determinism.
 ///
-/// A panicking worker propagates its panic to the caller, matching the
-/// sequential checkers' failure mode.
+/// This is the legacy spawn-per-call primitive; the default drivers now
+/// run on the persistent [`tp_sched::global`] pool and only the
+/// `_scoped` comparison paths still use it. A panicking worker
+/// propagates its panic to the caller, matching the sequential
+/// checkers' failure mode.
 pub fn parallel_map<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
 where
     I: Sync,
@@ -87,6 +99,26 @@ where
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Proof sharding
+// ---------------------------------------------------------------------
+
+/// Owned inputs for one (model, secret) proof shard. Materialised on
+/// the submitting thread so the task itself is `'static` and can run on
+/// the persistent pool.
+#[derive(Clone)]
+struct ProofTask {
+    /// Machine with the shard's time model applied.
+    mcfg: MachineConfig,
+    /// Kernel configuration for the monitored run.
+    kcfg_monitored: KernelConfig,
+    /// Kernel configuration for the plain NI replay.
+    kcfg_replay: KernelConfig,
+    lo: DomainId,
+    budget: Cycles,
+    max_steps: usize,
+}
+
 /// Per-(model, secret) evidence produced by one worker: the monitored
 /// run's P/F/T results plus the unmonitored NI replay trace.
 struct ProofShard {
@@ -97,52 +129,53 @@ struct ProofShard {
     trace: Vec<ObsEvent>,
 }
 
-/// [`crate::proof::prove`], sharded over the (time-model × secret)
-/// product.
-///
-/// Each worker performs exactly the two runs the sequential driver
-/// performs for that pair — one monitored (P/F/T evidence) and one
-/// plain replay (the NI trace) — and the merge walks shards in
-/// (model, secret) lexicographic order. The resulting [`ProofReport`]
-/// is therefore bit-identical to `prove(scenario, models)`: same
-/// verdicts, same violation order, same first witness, same step count.
-pub fn prove_parallel(scenario: &NiScenario, models: &[TimeModel], threads: usize) -> ProofReport {
-    assert!(!models.is_empty(), "need at least one time model");
-    assert!(
-        scenario.secrets.len() >= 2,
-        "need at least two secrets to compare"
-    );
-    let aisa = check_conformance(&scenario.mcfg);
-
-    let tasks: Vec<(usize, u64)> = models
-        .iter()
-        .enumerate()
-        .flat_map(|(mi, _)| scenario.secrets.iter().map(move |&s| (mi, s)))
-        .collect();
-
-    let shards = parallel_map(&tasks, threads, |_, &(mi, s)| {
+/// Flatten `scenario` × `models` into owned shard tasks, in the
+/// (model, secret) lexicographic order the merge consumes them in.
+fn proof_tasks(scenario: &NiScenario, models: &[TimeModel]) -> Vec<ProofTask> {
+    let mut tasks = Vec::with_capacity(models.len() * scenario.secrets.len());
+    for model in models {
         let mut mcfg = scenario.mcfg.clone();
-        mcfg.time_model = models[mi];
-        let kcfg = (scenario.make_kcfg)(s);
-        let sys = System::new(mcfg.clone(), kcfg)
-            .expect("scenario construction must succeed for every secret");
-        let run = run_monitored(sys, scenario.budget, scenario.max_steps);
-        let trace = lo_trace(
-            &mcfg,
-            (scenario.make_kcfg)(s),
-            scenario.lo,
-            scenario.budget,
-            scenario.max_steps,
-        );
-        ProofShard {
-            p: run.p,
-            f: run.f,
-            t: run.t,
-            steps: run.steps,
-            trace,
+        mcfg.time_model = *model;
+        for &s in &scenario.secrets {
+            tasks.push(ProofTask {
+                mcfg: mcfg.clone(),
+                kcfg_monitored: (scenario.make_kcfg)(s),
+                kcfg_replay: (scenario.make_kcfg)(s),
+                lo: scenario.lo,
+                budget: scenario.budget,
+                max_steps: scenario.max_steps,
+            });
         }
-    });
+    }
+    tasks
+}
 
+/// Execute one proof shard: exactly the two runs the sequential driver
+/// performs for this (model, secret) pair — one monitored (P/F/T
+/// evidence) and one plain replay (the NI trace).
+fn run_proof_task(t: ProofTask) -> ProofShard {
+    let sys = System::new(t.mcfg.clone(), t.kcfg_monitored)
+        .expect("scenario construction must succeed for every secret");
+    let run = run_monitored(sys, t.budget, t.max_steps);
+    let trace = lo_trace(&t.mcfg, t.kcfg_replay, t.lo, t.budget, t.max_steps);
+    ProofShard {
+        p: run.p,
+        f: run.f,
+        t: run.t,
+        steps: run.steps,
+        trace,
+    }
+}
+
+/// Merge shards (in (model, secret) order) into a [`ProofReport`]
+/// identical to the sequential `prove`: same verdicts, same violation
+/// order, same first witness, same step count.
+fn merge_proof_shards(
+    aisa: tp_hw::aisa::ConformanceReport,
+    models: &[TimeModel],
+    secrets: &[u64],
+    shards: impl IntoIterator<Item = ProofShard>,
+) -> ProofReport {
     let mut p = ObligationResult::new("P");
     let mut f = ObligationResult::new("F");
     let mut t = ObligationResult::new("T");
@@ -150,8 +183,8 @@ pub fn prove_parallel(scenario: &NiScenario, models: &[TimeModel], threads: usiz
     let mut steps = 0;
     let mut it = shards.into_iter();
     for model in models {
-        let mut runs: Vec<(u64, Vec<ObsEvent>)> = Vec::with_capacity(scenario.secrets.len());
-        for &s in &scenario.secrets {
+        let mut runs: Vec<(u64, Vec<ObsEvent>)> = Vec::with_capacity(secrets.len());
+        for &s in secrets {
             let shard = it.next().expect("one shard per (model, secret)");
             p.merge(shard.p);
             f.merge(shard.f);
@@ -164,7 +197,6 @@ pub fn prove_parallel(scenario: &NiScenario, models: &[TimeModel], threads: usiz
             verdict: compare_secret_runs(&runs),
         });
     }
-
     ProofReport {
         aisa,
         p,
@@ -175,79 +207,108 @@ pub fn prove_parallel(scenario: &NiScenario, models: &[TimeModel], threads: usiz
     }
 }
 
-/// [`crate::exhaustive::check_exhaustive`], sharded by index blocks.
+/// Guard the preconditions shared by every proof driver.
+fn check_proof_inputs(scenario: &NiScenario, models: &[TimeModel]) {
+    assert!(!models.is_empty(), "need at least one time model");
+    assert!(
+        scenario.secrets.len() >= 2,
+        "need at least two secrets to compare"
+    );
+}
+
+/// [`crate::proof::prove`], sharded over the (time-model × secret)
+/// product on the process-wide [`tp_sched::global`] pool.
 ///
-/// Workers claim contiguous blocks of the enumeration through an atomic
-/// cursor and record every leak they find; the verdict is the candidate
-/// with the lowest program index. Because the sequential checker stops
-/// at the first (= lowest-index) leak, the two drivers return the same
-/// witness. A shared lowest-leak bound prunes work at higher indices.
-pub fn check_exhaustive_parallel(cfg: &ExhaustiveConfig, threads: usize) -> ExhaustiveVerdict {
-    let baseline = run_with_hi(cfg, &[]);
-    let total = space_size(cfg.alphabet.len(), cfg.max_len);
+/// The resulting [`ProofReport`] is bit-identical to
+/// `prove(scenario, models)` regardless of worker count or scheduling.
+pub fn prove_parallel(scenario: &NiScenario, models: &[TimeModel]) -> ProofReport {
+    prove_parallel_on(tp_sched::global(), scenario, models)
+}
 
-    /// Indices per work claim: small enough to balance, large enough to
-    /// keep cursor traffic negligible next to a full system run.
-    const BLOCK: usize = 8;
+/// [`prove_parallel`] on an explicit pool.
+pub fn prove_parallel_on(
+    pool: &WorkerPool,
+    scenario: &NiScenario,
+    models: &[TimeModel],
+) -> ProofReport {
+    check_proof_inputs(scenario, models);
+    let aisa = check_conformance(&scenario.mcfg);
+    let shards = pool.map(proof_tasks(scenario, models), |_, t| run_proof_task(t));
+    merge_proof_shards(aisa, models, &scenario.secrets, shards)
+}
 
-    // No point spawning more workers than there are blocks to claim.
-    let threads = threads.max(1).min(total.div_ceil(BLOCK).max(1));
+/// [`prove_parallel`] on a scoped spawn-per-call pool of `threads`
+/// workers — the pre-`tp-sched` execution path, kept as the comparison
+/// baseline the determinism harness checks the pool against.
+pub fn prove_parallel_scoped(
+    scenario: &NiScenario,
+    models: &[TimeModel],
+    threads: usize,
+) -> ProofReport {
+    check_proof_inputs(scenario, models);
+    let aisa = check_conformance(&scenario.mcfg);
+    let tasks = proof_tasks(scenario, models);
+    // Configs clone cheaply relative to the runs they parameterise.
+    let shards = parallel_map(&tasks, threads, |_, t| run_proof_task(t.clone()));
+    merge_proof_shards(aisa, models, &scenario.secrets, shards)
+}
 
-    struct Candidate {
-        index: usize,
-        witness: Vec<Instr>,
-        divergence: usize,
-        baseline_event: Option<ObsEvent>,
-        witness_event: Option<ObsEvent>,
-    }
+// ---------------------------------------------------------------------
+// Exhaustive sharding
+// ---------------------------------------------------------------------
 
-    let next_block = AtomicUsize::new(0);
-    let best = AtomicUsize::new(usize::MAX);
-    let candidates: Mutex<Vec<Candidate>> = Mutex::new(Vec::new());
+/// Indices per work claim: small enough to balance, large enough to
+/// keep scheduling traffic negligible next to a full system run.
+const EXH_BLOCK: usize = 8;
 
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let start = 1 + next_block.fetch_add(1, Ordering::Relaxed) * BLOCK;
-                if start > total {
-                    break;
-                }
-                // Blocks are claimed in increasing index order, so once a
-                // leak below this block exists nothing later can beat it.
-                if start > best.load(Ordering::Relaxed) {
-                    break;
-                }
-                let end = (start + BLOCK - 1).min(total);
-                for index in start..=end {
-                    if index > best.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let word = word_for_index(&cfg.alphabet, cfg.max_len, index)
-                        .expect("index is within the enumerated space");
-                    let trace = run_with_hi(cfg, &word);
-                    if let Some(div) = first_divergence(&baseline, &trace) {
-                        best.fetch_min(index, Ordering::Relaxed);
-                        candidates
-                            .lock()
-                            .expect("candidate list poisoned")
-                            .push(Candidate {
-                                index,
-                                witness: word,
-                                divergence: div,
-                                baseline_event: baseline.get(div).copied(),
-                                witness_event: trace.get(div).copied(),
-                            });
-                        // Later indices in this block cannot beat this one.
-                        break;
-                    }
-                }
+/// A leak found by one exhaustive shard.
+struct ExhCandidate {
+    index: usize,
+    witness: Vec<Instr>,
+    divergence: usize,
+    baseline_event: Option<ObsEvent>,
+    witness_event: Option<ObsEvent>,
+}
+
+/// Scan one contiguous index block for leaks against `baseline`,
+/// pruning past any already-known lower-index leak in `best`.
+fn scan_exhaustive_block(
+    runner: &ExhaustiveRunner,
+    alphabet: &[Instr],
+    max_len: usize,
+    baseline: &[ObsEvent],
+    best: &AtomicUsize,
+    start: usize,
+    end: usize,
+) -> Option<ExhCandidate> {
+    for index in start..=end {
+        if index > best.load(Ordering::Relaxed) {
+            return None;
+        }
+        let word =
+            word_for_index(alphabet, max_len, index).expect("index is within the enumerated space");
+        let trace = runner.run(&word);
+        if let Some(div) = first_divergence(baseline, &trace) {
+            best.fetch_min(index, Ordering::Relaxed);
+            return Some(ExhCandidate {
+                index,
+                witness: word,
+                divergence: div,
+                baseline_event: baseline.get(div).copied(),
+                witness_event: trace.get(div).copied(),
             });
         }
-    });
+    }
+    None
+}
 
-    let mut found = candidates.into_inner().expect("candidate list poisoned");
-    found.sort_by_key(|c| c.index);
-    match found.into_iter().next() {
+/// Pick the sequential verdict out of the shards' findings: the
+/// lowest-index leak, or a pass over the whole space.
+fn merge_exhaustive_candidates(
+    found: impl IntoIterator<Item = ExhCandidate>,
+    total: usize,
+) -> ExhaustiveVerdict {
+    match found.into_iter().min_by_key(|c| c.index) {
         Some(c) => ExhaustiveVerdict::Leak {
             program_index: c.index,
             witness: c.witness,
@@ -261,13 +322,94 @@ pub fn check_exhaustive_parallel(cfg: &ExhaustiveConfig, threads: usize) -> Exha
     }
 }
 
+/// [`crate::exhaustive::check_exhaustive`], sharded by index blocks on
+/// the process-wide [`tp_sched::global`] pool.
+///
+/// Workers record every leak they find; the verdict is the candidate
+/// with the lowest program index. Because the sequential checker stops
+/// at the first (= lowest-index) leak, the two drivers return the same
+/// witness. A shared lowest-leak bound prunes work at higher indices,
+/// and all shards run systems stamped from one [`ExhaustiveRunner`]
+/// template instead of paying full construction per program.
+pub fn check_exhaustive_parallel(cfg: &ExhaustiveConfig) -> ExhaustiveVerdict {
+    check_exhaustive_parallel_on(tp_sched::global(), cfg)
+}
+
+/// [`check_exhaustive_parallel`] on an explicit pool.
+pub fn check_exhaustive_parallel_on(
+    pool: &WorkerPool,
+    cfg: &ExhaustiveConfig,
+) -> ExhaustiveVerdict {
+    let runner = Arc::new(ExhaustiveRunner::new(cfg));
+    let baseline = Arc::new(runner.run(&[]));
+    let total = space_size(cfg.alphabet.len(), cfg.max_len);
+    let alphabet = Arc::new(cfg.alphabet.clone());
+    let max_len = cfg.max_len;
+    let best = Arc::new(AtomicUsize::new(usize::MAX));
+
+    let blocks: Vec<usize> = (1..=total).step_by(EXH_BLOCK).collect();
+    let found = pool.map(blocks, move |_, start| {
+        let end = (start + EXH_BLOCK - 1).min(total);
+        scan_exhaustive_block(&runner, &alphabet, max_len, &baseline, &best, start, end)
+    });
+    merge_exhaustive_candidates(found.into_iter().flatten(), total)
+}
+
+/// [`check_exhaustive_parallel`] on a scoped spawn-per-call pool — the
+/// pre-`tp-sched` execution path, kept as a comparison baseline.
+pub fn check_exhaustive_parallel_scoped(
+    cfg: &ExhaustiveConfig,
+    threads: usize,
+) -> ExhaustiveVerdict {
+    let runner = ExhaustiveRunner::new(cfg);
+    let baseline = runner.run(&[]);
+    let total = space_size(cfg.alphabet.len(), cfg.max_len);
+
+    // No point spawning more workers than there are blocks to claim.
+    let threads = threads.max(1).min(total.div_ceil(EXH_BLOCK).max(1));
+    let next_block = AtomicUsize::new(0);
+    let best = AtomicUsize::new(usize::MAX);
+    let candidates: Mutex<Vec<ExhCandidate>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let start = 1 + next_block.fetch_add(1, Ordering::Relaxed) * EXH_BLOCK;
+                if start > total {
+                    break;
+                }
+                // Blocks are claimed in increasing index order, so once a
+                // leak below this block exists nothing later can beat it.
+                if start > best.load(Ordering::Relaxed) {
+                    break;
+                }
+                let end = (start + EXH_BLOCK - 1).min(total);
+                if let Some(c) = scan_exhaustive_block(
+                    &runner,
+                    &cfg.alphabet,
+                    cfg.max_len,
+                    &baseline,
+                    &best,
+                    start,
+                    end,
+                ) {
+                    candidates.lock().expect("candidate list poisoned").push(c);
+                }
+            });
+        }
+    });
+
+    let found = candidates.into_inner().expect("candidate list poisoned");
+    merge_exhaustive_candidates(found, total)
+}
+
 // ---------------------------------------------------------------------
 // Scenario matrix
 // ---------------------------------------------------------------------
 
 /// One point of the sweep: a machine configuration paired with a
 /// time-protection setting (full, or full-minus-one-mechanism).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixCell {
     /// Label of the machine configuration this cell runs on.
     pub machine: String,
@@ -291,8 +433,9 @@ impl MatrixCell {
 
 /// Builder for a family of proof scenarios: the cross product of
 /// machine configurations (cache geometry, core counts), mechanism
-/// ablations and time models, proved in one [`ScenarioMatrix::run`]
-/// call on the worker pool.
+/// ablations and time models, flattened into one
+/// (cell × model × secret) task list and proved in a single
+/// [`ScenarioMatrix::run`] submission on the worker pool.
 pub struct ScenarioMatrix {
     machines: Vec<(String, MachineConfig)>,
     ablations: Vec<Option<Mechanism>>,
@@ -423,16 +566,113 @@ impl ScenarioMatrix {
         Ok(validated)
     }
 
-    /// Prove every cell on the worker pool. `make_scenario` builds the
-    /// base scenario; the engine then overrides the scenario's machine
-    /// with `cell.mcfg` **and** the kernel configuration's protection
-    /// with `cell.tp`, so both halves of the sweep always apply — a
-    /// callback that ignores the cell cannot hollow out the ablations.
+    /// Prove every cell on the process-wide [`tp_sched::global`] pool.
+    /// `make_scenario` builds the base scenario; the engine then
+    /// overrides the scenario's machine with `cell.mcfg` **and** the
+    /// kernel configuration's protection with `cell.tp`, so both halves
+    /// of the sweep always apply — a callback that ignores the cell
+    /// cannot hollow out the ablations.
     ///
-    /// Threads are split between cells (outer) and each cell's
-    /// (model × secret) product (inner), so a single-cell matrix still
+    /// The whole sweep is flattened into one (cell × model × secret)
+    /// task list and submitted in a single batch, so work stealing
+    /// balances across cell boundaries and a single-cell matrix still
     /// saturates the pool.
-    pub fn run<F>(&self, threads: usize, make_scenario: F) -> MatrixReport
+    pub fn run<F>(&self, make_scenario: F) -> MatrixReport
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+    {
+        self.run_on(tp_sched::global(), make_scenario)
+    }
+
+    /// [`ScenarioMatrix::run`] on an explicit pool.
+    pub fn run_on<F>(&self, pool: &WorkerPool, make_scenario: F) -> MatrixReport
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+    {
+        self.run_streamed(pool, make_scenario, |_, _, _| {})
+    }
+
+    /// [`ScenarioMatrix::run`], streaming each cell's finished report
+    /// to `on_cell` **in deterministic cell order** as soon as the cell
+    /// completes — cell 0 can be rendered while cell 40 is still
+    /// running. The returned [`MatrixReport`] is identical to
+    /// [`ScenarioMatrix::run`]'s.
+    pub fn run_streamed<F, C>(
+        &self,
+        pool: &WorkerPool,
+        make_scenario: F,
+        mut on_cell: C,
+    ) -> MatrixReport
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+        C: FnMut(usize, &MatrixCell, &ProofReport),
+    {
+        let all: Vec<usize> = (0..self.cells().len()).collect();
+        let proved = self.run_subset_streamed(pool, &all, make_scenario, &mut on_cell);
+        MatrixReport {
+            cells: proved.into_iter().map(|(_, c, r)| (c, r)).collect(),
+        }
+    }
+
+    /// Prove only the cells at `indices` (positions in
+    /// [`ScenarioMatrix::cells`] order), flattened into one task-list
+    /// submission, streaming each finished cell to `on_cell` in
+    /// `indices` order. Returns `(global index, cell, report)` triples.
+    ///
+    /// This is the multi-process sharding primitive: a `sched-worker`
+    /// process proves its slice of the matrix with this and serialises
+    /// the triples ([`crate::wire`]); the merge step reassembles the
+    /// full report, identical to a single-process run.
+    ///
+    /// Out-of-range indices panic — shards are derived from the same
+    /// matrix constructor on every host, so a mismatch is a driver bug.
+    pub fn run_subset_streamed<F, C>(
+        &self,
+        pool: &WorkerPool,
+        indices: &[usize],
+        make_scenario: F,
+        mut on_cell: C,
+    ) -> Vec<(usize, MatrixCell, ProofReport)>
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+        C: FnMut(usize, &MatrixCell, &ProofReport),
+    {
+        let all = self.cells();
+        // Flatten every selected cell into the one task list; remember
+        // each cell's shard count and conformance for the ordered merge.
+        let mut tasks = Vec::new();
+        let mut meta = Vec::with_capacity(indices.len());
+        for &ci in indices {
+            let cell = &all[ci];
+            let scenario = apply_cell(make_scenario(cell), cell);
+            check_proof_inputs(&scenario, &self.models);
+            let cell_tasks = proof_tasks(&scenario, &self.models);
+            meta.push((
+                ci,
+                check_conformance(&cell.mcfg),
+                scenario.secrets.clone(),
+                cell_tasks.len(),
+            ));
+            tasks.extend(cell_tasks);
+        }
+
+        let mut stream = pool.map_streamed(tasks, |_, t| run_proof_task(t));
+        let mut out = Vec::with_capacity(indices.len());
+        for (ci, aisa, secrets, count) in meta {
+            let shards: Vec<ProofShard> = stream.by_ref().take(count).collect();
+            assert_eq!(shards.len(), count, "one shard per (model, secret)");
+            let report = merge_proof_shards(aisa, &self.models, &secrets, shards);
+            on_cell(ci, &all[ci], &report);
+            out.push((ci, all[ci].clone(), report));
+        }
+        out
+    }
+
+    /// [`ScenarioMatrix::run`] on a scoped spawn-per-call pool,
+    /// splitting `threads` between cells (outer) and each cell's
+    /// (model × secret) product (inner) — the pre-`tp-sched` execution
+    /// path, kept as a comparison baseline.
+    pub fn run_scoped<F>(&self, threads: usize, make_scenario: F) -> MatrixReport
     where
         F: Fn(&MatrixCell) -> NiScenario + Sync,
     {
@@ -442,22 +682,78 @@ impl ScenarioMatrix {
         let inner = (threads / outer).max(1);
         let reports = parallel_map(&cells, outer, |_, cell| {
             let scenario = apply_cell(make_scenario(cell), cell);
-            prove_parallel(&scenario, &self.models, inner)
+            prove_parallel_scoped(&scenario, &self.models, inner)
         });
         MatrixReport {
             cells: cells.into_iter().zip(reports).collect(),
         }
     }
 
-    /// NI-only matrix run: shard every cell's per-secret replay across
-    /// the pool and compare Lo traces, without the monitored P/F/T runs
-    /// a full [`ScenarioMatrix::run`] performs. Each cell's verdict is
-    /// identical to `check_noninterference` on that cell's scenario
-    /// (same [`lo_trace`] + [`compare_secret_runs`] path) under the
-    /// cell machine's own time model. This is the cheap driver for
-    /// sweeps that only need leak/no-leak answers, like the E11
-    /// ablation table.
-    pub fn run_ni<F>(&self, threads: usize, make_scenario: F) -> Vec<(MatrixCell, NiVerdict)>
+    /// NI-only matrix run on the process-wide pool: shard every cell's
+    /// per-secret replay and compare Lo traces, without the monitored
+    /// P/F/T runs a full [`ScenarioMatrix::run`] performs. Each cell's
+    /// verdict is identical to `check_noninterference` on that cell's
+    /// scenario (same [`lo_trace`] + [`compare_secret_runs`] path)
+    /// under the cell machine's own time model. This is the cheap
+    /// driver for sweeps that only need leak/no-leak answers, like the
+    /// E11 ablation table.
+    pub fn run_ni<F>(&self, make_scenario: F) -> Vec<(MatrixCell, NiVerdict)>
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+    {
+        self.run_ni_on(tp_sched::global(), make_scenario)
+    }
+
+    /// [`ScenarioMatrix::run_ni`] on an explicit pool.
+    pub fn run_ni_on<F>(&self, pool: &WorkerPool, make_scenario: F) -> Vec<(MatrixCell, NiVerdict)>
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+    {
+        let cells = self.cells();
+        struct NiTask {
+            mcfg: MachineConfig,
+            kcfg: KernelConfig,
+            secret: u64,
+            lo: DomainId,
+            budget: Cycles,
+            max_steps: usize,
+        }
+        let mut tasks = Vec::new();
+        let mut counts = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            let sc = apply_cell(make_scenario(cell), cell);
+            counts.push(sc.secrets.len());
+            for &s in &sc.secrets {
+                tasks.push(NiTask {
+                    mcfg: sc.mcfg.clone(),
+                    kcfg: (sc.make_kcfg)(s),
+                    secret: s,
+                    lo: sc.lo,
+                    budget: sc.budget,
+                    max_steps: sc.max_steps,
+                });
+            }
+        }
+        let traces = pool.map(tasks, |_, t| {
+            (
+                t.secret,
+                lo_trace(&t.mcfg, t.kcfg, t.lo, t.budget, t.max_steps),
+            )
+        });
+        let mut out = Vec::with_capacity(cells.len());
+        let mut it = traces.into_iter();
+        for (cell, n) in cells.into_iter().zip(counts) {
+            let runs: Vec<(u64, Vec<ObsEvent>)> = (0..n)
+                .map(|_| it.next().expect("one trace per (cell, secret)"))
+                .collect();
+            out.push((cell, compare_secret_runs(&runs)));
+        }
+        out
+    }
+
+    /// [`ScenarioMatrix::run_ni`] on a scoped spawn-per-call pool — the
+    /// pre-`tp-sched` execution path, kept as a comparison baseline.
+    pub fn run_ni_scoped<F>(&self, threads: usize, make_scenario: F) -> Vec<(MatrixCell, NiVerdict)>
     where
         F: Fn(&MatrixCell) -> NiScenario + Sync,
     {
@@ -508,7 +804,7 @@ fn apply_cell(mut scenario: NiScenario, cell: &MatrixCell) -> NiScenario {
 
 /// The outcome of a [`ScenarioMatrix::run`]: one [`ProofReport`] per
 /// cell, in cell order.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct MatrixReport {
     /// Every cell with its proof report.
     pub cells: Vec<(MatrixCell, ProofReport)>,
@@ -606,15 +902,14 @@ mod tests {
 
     /// The engine must force `cell.tp` into the kernel configuration:
     /// even a callback that hardcodes full protection and ignores the
-    /// cell gets leaking ablation cells.
+    /// cell gets leaking ablation cells. Checked on both the pool and
+    /// the scoped execution paths.
     #[test]
     fn run_ni_applies_cell_protection_despite_oblivious_callback() {
         use crate::noninterference::check_noninterference;
-        use tp_hw::types::Cycles;
         use tp_kernel::config::{DomainSpec, KernelConfig};
-        use tp_kernel::domain::DomainId;
         use tp_kernel::layout::data_addr;
-        use tp_kernel::program::{Instr, TraceProgram};
+        use tp_kernel::program::TraceProgram;
 
         let make = || NiScenario {
             mcfg: MachineConfig::single_core(),
@@ -651,7 +946,7 @@ mod tests {
 
         let matrix = ScenarioMatrix::new("base", MachineConfig::single_core())
             .with_ablations(vec![None, Some(Mechanism::Padding)]);
-        let verdicts = matrix.run_ni(2, |_| make());
+        let verdicts = matrix.run_ni(|_| make());
         assert_eq!(verdicts.len(), 2);
         assert!(
             verdicts[0].1.passed(),
@@ -665,6 +960,9 @@ mod tests {
                 cell.label()
             );
         }
+
+        // The scoped baseline agrees with the pool path.
+        assert_eq!(verdicts, matrix.run_ni_scoped(2, |_| make()));
 
         // And each cell's verdict equals the sequential checker run on
         // the equivalently-ablated scenario.

@@ -20,7 +20,7 @@ use tp_hw::machine::MachineConfig;
 use tp_hw::types::Cycles;
 use tp_kernel::config::{DomainSpec, KernelConfig, TimeProtConfig};
 use tp_kernel::domain::{DomainId, ObsEvent};
-use tp_kernel::kernel::System;
+use tp_kernel::kernel::SystemTemplate;
 use tp_kernel::layout::data_addr;
 use tp_kernel::program::{Instr, SyscallReq, TraceProgram};
 
@@ -84,6 +84,7 @@ impl core::fmt::Display for ExhaustiveVerdict {
 }
 
 /// Configuration of the exhaustive check.
+#[derive(Clone)]
 pub struct ExhaustiveConfig {
     /// Machine to run on (keep it small: [`MachineConfig::tiny`]).
     pub mcfg: MachineConfig,
@@ -132,28 +133,63 @@ fn lo_observer() -> TraceProgram {
     TraceProgram::new(v)
 }
 
+/// The reusable execution backend of the exhaustive check: a
+/// [`SystemTemplate`] built once per configuration, stamped into a
+/// cheap pristine copy for every Hi program instead of paying full
+/// construction (colour allocation, page tables, kernel-image cloning)
+/// ~1.5k times per config. The kernel's template digest tests pin that
+/// the copies are indistinguishable from fresh construction, so every
+/// checker keeps its bit-identical-verdict guarantee.
+///
+/// `Sync`, so the parallel engine shares one runner across all workers.
+pub struct ExhaustiveRunner {
+    template: SystemTemplate,
+    budget: Cycles,
+    max_steps: usize,
+}
+
+impl ExhaustiveRunner {
+    /// Build the template system for `cfg` (with an empty Hi program).
+    pub fn new(cfg: &ExhaustiveConfig) -> Self {
+        let kcfg = KernelConfig::new(vec![
+            DomainSpec::new(Box::new(TraceProgram::new(vec![Instr::Halt])))
+                .with_slice(Cycles(8_000))
+                .with_pad(Cycles(20_000))
+                .with_data_pages(8)
+                .with_code_pages(1),
+            DomainSpec::new(Box::new(lo_observer()))
+                .with_slice(Cycles(8_000))
+                .with_pad(Cycles(20_000))
+                .with_data_pages(4)
+                .with_code_pages(1),
+        ])
+        .with_tp(cfg.tp);
+        ExhaustiveRunner {
+            template: SystemTemplate::new(cfg.mcfg.clone(), kcfg).expect("exhaustive system"),
+            budget: cfg.budget,
+            max_steps: cfg.max_steps,
+        }
+    }
+
+    /// Run one Hi program (plus the fixed Lo observer) and return Lo's
+    /// observation log.
+    pub fn run(&self, hi: &[Instr]) -> Vec<ObsEvent> {
+        let mut hi_prog: Vec<Instr> = hi.to_vec();
+        hi_prog.push(Instr::Halt);
+        let mut sys = self
+            .template
+            .instantiate_with_program(DomainId(0), Box::new(TraceProgram::new(hi_prog)));
+        sys.run_cycles(self.budget, self.max_steps);
+        sys.observation(DomainId(1)).events.clone()
+    }
+}
+
 /// Run one Hi program (plus the fixed Lo observer) under `cfg` and
-/// return Lo's observation log. Public so the parallel engine can shard
-/// the enumeration and so leak witnesses can be replayed directly.
+/// return Lo's observation log. One-shot convenience over
+/// [`ExhaustiveRunner`] — build a runner once when running many
+/// programs under the same configuration.
 pub fn run_with_hi(cfg: &ExhaustiveConfig, hi: &[Instr]) -> Vec<ObsEvent> {
-    let mut hi_prog: Vec<Instr> = hi.to_vec();
-    hi_prog.push(Instr::Halt);
-    let kcfg = KernelConfig::new(vec![
-        DomainSpec::new(Box::new(TraceProgram::new(hi_prog)))
-            .with_slice(Cycles(8_000))
-            .with_pad(Cycles(20_000))
-            .with_data_pages(8)
-            .with_code_pages(1),
-        DomainSpec::new(Box::new(lo_observer()))
-            .with_slice(Cycles(8_000))
-            .with_pad(Cycles(20_000))
-            .with_data_pages(4)
-            .with_code_pages(1),
-    ])
-    .with_tp(cfg.tp);
-    let mut sys = System::new(cfg.mcfg.clone(), kcfg).expect("exhaustive system");
-    sys.run_cycles(cfg.budget, cfg.max_steps);
-    sys.observation(DomainId(1)).events.clone()
+    ExhaustiveRunner::new(cfg).run(hi)
 }
 
 /// Number of non-empty Hi programs with length in `1..=max_len` over an
@@ -195,13 +231,14 @@ pub fn word_for_index(alphabet: &[Instr], max_len: usize, index: usize) -> Optio
 /// Enumerate every Hi program up to `cfg.max_len` and compare Lo traces
 /// against the empty-program baseline.
 pub fn check_exhaustive(cfg: &ExhaustiveConfig) -> ExhaustiveVerdict {
-    let baseline = run_with_hi(cfg, &[]);
+    let runner = ExhaustiveRunner::new(cfg);
+    let baseline = runner.run(&[]);
     let total = space_size(cfg.alphabet.len(), cfg.max_len);
 
     for index in 1..=total {
         let word = word_for_index(&cfg.alphabet, cfg.max_len, index)
             .expect("index is within the enumerated space");
-        let trace = run_with_hi(cfg, &word);
+        let trace = runner.run(&word);
         if let Some(div) = crate::noninterference::first_divergence(&baseline, &trace) {
             return ExhaustiveVerdict::Leak {
                 program_index: index,

@@ -19,11 +19,14 @@
 //!   hardware contract ([`tp_hw::aisa`]) and quantified over a family of
 //!   time models ([`proof::default_time_models`]) to realise §5.1's
 //!   "deterministic yet unspecified function" argument.
-//! * **[`engine`]** — the scenario-matrix proof engine: shards the
-//!   (time-model × secret) product of [`proof::prove`] and the
-//!   Hi-program enumeration of [`exhaustive`] across a std-thread
-//!   worker pool with bit-identical results, and sweeps whole families
-//!   of machine/ablation configurations in one call.
+//! * **[`engine`]** — the scenario-matrix proof engine: flattens the
+//!   (time-model × secret) product of [`proof::prove`], the Hi-program
+//!   enumeration of [`exhaustive`] and whole machine/ablation sweeps
+//!   onto the persistent `tp-sched` worker pool with bit-identical
+//!   results, streaming each cell's report as it completes.
+//! * **[`wire`]** — the scale-out text format: serialise
+//!   [`engine::MatrixCell`]s with their verdicts, shard a sweep across
+//!   processes or hosts, and merge back the identical report.
 //!
 //! Where the paper envisions Isabelle/HOL proofs, this crate *checks*
 //! the same obligations mechanically over executions of the modelled
@@ -82,6 +85,7 @@ pub mod padding;
 pub mod partition;
 pub mod proof;
 pub mod wcet;
+pub mod wire;
 
 pub use engine::{
     available_threads, check_exhaustive_parallel, prove_parallel, MatrixCell, MatrixReport,

@@ -24,7 +24,7 @@ use tp_hw::clock::TimeModel;
 use tp_kernel::kernel::System;
 
 /// NI verdict under one time model.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelVerdict {
     /// The time model used.
     pub model: TimeModel,
@@ -33,7 +33,7 @@ pub struct ModelVerdict {
 }
 
 /// The full report assembled by [`prove`].
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProofReport {
     /// Hardware-contract check.
     pub aisa: ConformanceReport,

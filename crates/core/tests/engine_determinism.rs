@@ -1,19 +1,34 @@
 //! Determinism harness for the parallel proof engine: sharding the
 //! (time-model × secret) product or the Hi-program enumeration across
-//! worker threads must not change a single bit of the result. Checked
-//! across 3 scenario seeds × 2 thread counts against the sequential
-//! drivers.
+//! worker threads must not change a single bit of the result — on
+//! **either** execution path. Each scenario is checked three ways:
+//!
+//! * sequential (`prove` / `check_exhaustive`) — the reference;
+//! * scoped spawn-per-call pools (`*_scoped`) — the legacy engine path;
+//! * persistent `tp-sched` pools (`*_on`) — the production path,
+//!   exercised at 1, 2 and 8 workers.
+//!
+//! Checked across 3 scenario seeds, bit for bit: same verdicts, same
+//! violation order (hence first witness), same check points, same step
+//! counts — and therefore the same rendered reports.
 
-use tp_core::engine::{check_exhaustive_parallel, prove_parallel};
+use tp_core::engine::{
+    check_exhaustive_parallel_on, check_exhaustive_parallel_scoped, prove_parallel_on,
+    prove_parallel_scoped,
+};
 use tp_core::exhaustive::{check_exhaustive, ExhaustiveConfig};
 use tp_core::noninterference::NiScenario;
-use tp_core::proof::{default_time_models, prove};
+use tp_core::proof::{default_time_models, prove, ProofReport};
 use tp_hw::machine::MachineConfig;
 use tp_hw::types::Cycles;
 use tp_kernel::config::{DomainSpec, KernelConfig, Mechanism, TimeProtConfig};
 use tp_kernel::domain::DomainId;
 use tp_kernel::layout::data_addr;
 use tp_kernel::program::{Instr, TraceProgram};
+use tp_sched::WorkerPool;
+
+/// The worker counts every persistent-pool check runs at.
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
 
 /// A secret- and seed-parameterised scenario: the seed varies Hi's
 /// access pattern and the secret set, so each seed exercises different
@@ -54,11 +69,36 @@ fn seeded_scenario(seed: u64, tp: TimeProtConfig) -> NiScenario {
     }
 }
 
-/// Sequential and parallel proofs must agree on everything the report
-/// exposes: verdicts, violation lists (hence first witness), check
-/// points, step counts — and therefore the rendered report itself.
+/// Field-by-field comparison of two proof reports, with a labelled
+/// panic message per field so a divergence names its shard.
+fn assert_reports_identical(reference: &ProofReport, other: &ProofReport, label: &str) {
+    assert_eq!(reference.p, other.p, "{label}: P");
+    assert_eq!(reference.f, other.f, "{label}: F");
+    assert_eq!(reference.t, other.t, "{label}: T");
+    assert_eq!(reference.steps, other.steps, "{label}: steps");
+    assert_eq!(reference.ni.len(), other.ni.len(), "{label}: model count");
+    for (s, p) in reference.ni.iter().zip(other.ni.iter()) {
+        assert_eq!(s.model, p.model, "{label}");
+        assert_eq!(
+            s.verdict, p.verdict,
+            "{label}: NI verdict under {:?}",
+            s.model
+        );
+    }
+    // The whole-struct and rendered comparisons close any gap the
+    // field list might leave open.
+    assert_eq!(reference, other, "{label}: full report");
+    assert_eq!(
+        reference.to_string(),
+        other.to_string(),
+        "{label}: rendered report"
+    );
+}
+
+/// Sequential, scoped-spawn and persistent-pool proofs must agree on
+/// everything the report exposes, at every worker count.
 #[test]
-fn prove_parallel_is_bit_identical_to_sequential() {
+fn prove_is_bit_identical_across_all_execution_paths() {
     let models = default_time_models();
     for seed in [1u64, 2, 3] {
         // Full protection for even work, one ablation so leak witnesses
@@ -69,31 +109,20 @@ fn prove_parallel_is_bit_identical_to_sequential() {
         ] {
             let sequential = prove(&seeded_scenario(seed, tp), &models);
             for threads in [2, 5] {
-                let parallel = prove_parallel(&seeded_scenario(seed, tp), &models, threads);
-                assert_eq!(sequential.p, parallel.p, "seed {seed} threads {threads}: P");
-                assert_eq!(sequential.f, parallel.f, "seed {seed} threads {threads}: F");
-                assert_eq!(sequential.t, parallel.t, "seed {seed} threads {threads}: T");
-                assert_eq!(
-                    sequential.steps, parallel.steps,
-                    "seed {seed} threads {threads}: steps"
+                let scoped = prove_parallel_scoped(&seeded_scenario(seed, tp), &models, threads);
+                assert_reports_identical(
+                    &sequential,
+                    &scoped,
+                    &format!("seed {seed} scoped×{threads}"),
                 );
-                assert_eq!(
-                    sequential.ni.len(),
-                    parallel.ni.len(),
-                    "seed {seed} threads {threads}: model count"
-                );
-                for (s, p) in sequential.ni.iter().zip(parallel.ni.iter()) {
-                    assert_eq!(s.model, p.model);
-                    assert_eq!(
-                        s.verdict, p.verdict,
-                        "seed {seed} threads {threads}: NI verdict under {:?}",
-                        s.model
-                    );
-                }
-                assert_eq!(
-                    sequential.to_string(),
-                    parallel.to_string(),
-                    "seed {seed} threads {threads}: rendered report"
+            }
+            for workers in POOL_SIZES {
+                let pool = WorkerPool::new(workers);
+                let pooled = prove_parallel_on(&pool, &seeded_scenario(seed, tp), &models);
+                assert_reports_identical(
+                    &sequential,
+                    &pooled,
+                    &format!("seed {seed} pool×{workers}"),
                 );
             }
         }
@@ -101,25 +130,61 @@ fn prove_parallel_is_bit_identical_to_sequential() {
 }
 
 /// The sharded enumeration returns the sequential first witness: the
-/// lowest-index distinguishing program, with identical divergence data.
+/// lowest-index distinguishing program, with identical divergence data
+/// — on the scoped path and on persistent pools of every size.
 #[test]
-fn exhaustive_parallel_matches_sequential_witness() {
-    for (tp, max_len) in [
-        (TimeProtConfig::full(), 2),
-        (TimeProtConfig::off(), 2),
-        (TimeProtConfig::full_without(Mechanism::Padding), 2),
-        (TimeProtConfig::full_without(Mechanism::Flush), 2),
+fn exhaustive_matches_sequential_witness_across_all_execution_paths() {
+    for tp in [
+        TimeProtConfig::full(),
+        TimeProtConfig::off(),
+        TimeProtConfig::full_without(Mechanism::Padding),
+        TimeProtConfig::full_without(Mechanism::Flush),
     ] {
         let cfg = ExhaustiveConfig {
-            max_len,
+            max_len: 2,
             ..ExhaustiveConfig::small(tp)
         };
         let sequential = check_exhaustive(&cfg);
         for threads in [2, 5] {
-            let parallel = check_exhaustive_parallel(&cfg, threads);
+            let scoped = check_exhaustive_parallel_scoped(&cfg, threads);
             assert_eq!(
-                sequential, parallel,
-                "exhaustive verdict must be thread-count independent ({tp:?}, {threads} threads)"
+                sequential, scoped,
+                "exhaustive verdict must be thread-count independent ({tp:?}, scoped×{threads})"
+            );
+        }
+        for workers in POOL_SIZES {
+            let pool = WorkerPool::new(workers);
+            let pooled = check_exhaustive_parallel_on(&pool, &cfg);
+            assert_eq!(
+                sequential, pooled,
+                "exhaustive verdict must be pool-size independent ({tp:?}, pool×{workers})"
+            );
+        }
+    }
+}
+
+/// One persistent pool re-used across many heterogeneous submissions
+/// (the `bin/all` shape) keeps producing bit-identical reports — state
+/// from one sweep must not bleed into the next.
+#[test]
+fn pool_reuse_across_submissions_stays_deterministic() {
+    let models = default_time_models();
+    let pool = WorkerPool::new(4);
+    let reference: Vec<ProofReport> = [1u64, 2]
+        .iter()
+        .map(|&seed| prove(&seeded_scenario(seed, TimeProtConfig::full()), &models))
+        .collect();
+    for round in 0..3 {
+        for (i, &seed) in [1u64, 2].iter().enumerate() {
+            let pooled = prove_parallel_on(
+                &pool,
+                &seeded_scenario(seed, TimeProtConfig::full()),
+                &models,
+            );
+            assert_reports_identical(
+                &reference[i],
+                &pooled,
+                &format!("round {round} seed {seed} on the shared pool"),
             );
         }
     }

@@ -1,0 +1,216 @@
+//! Round-trip property test for the scale-out wire format: any
+//! (cell, report) pair the sweep machinery can produce — hostile labels
+//! and violation details included — must survive
+//! `write_cell → parse_cells → merge_cells` unchanged, and shard
+//! outputs split and concatenated in any order must merge to the same
+//! report as serialising the whole sweep at once.
+
+use proptest::prelude::*;
+
+use tp_core::engine::{MatrixCell, MatrixReport};
+use tp_core::noninterference::NiVerdict;
+use tp_core::obligation::{ObligationResult, Violation, ViolationKind};
+use tp_core::proof::{ModelVerdict, ProofReport};
+use tp_core::wire;
+use tp_hw::aisa::check_conformance;
+use tp_hw::cache::{CacheConfig, ReplacementPolicy};
+use tp_hw::clock::TimeModel;
+use tp_hw::interconnect::MbaThrottle;
+use tp_hw::machine::MachineConfig;
+use tp_hw::types::Cycles;
+use tp_kernel::config::{Mechanism, TimeProtConfig};
+use tp_kernel::domain::ObsEvent;
+
+/// Deterministically expand a seed into one synthetic proved cell,
+/// exercising every optional field and enum arm the format carries.
+fn synth_cell(seed: u64) -> (MatrixCell, ProofReport) {
+    let pick = |n: u64, k: u64| (seed / 7u64.pow(k as u32)) % n;
+
+    let labels = [
+        "canonical",
+        "llc-512x2",
+        "label with spaces",
+        "tabs\tand\nnewlines",
+        "form\x0Cfeed\rreturn",
+        "trailing nbsp\u{00A0}",
+        "100% déjà=vu",
+    ];
+    let details = [
+        "line residue at set 3",
+        "overran target by 42 cycles\n(second line)",
+        "frame 0x2a outside colours = {1, 2}",
+        "",
+    ];
+
+    let policy = match pick(3, 0) {
+        0 => ReplacementPolicy::Lru,
+        1 => ReplacementPolicy::TreePlru,
+        _ => ReplacementPolicy::GlobalRandom,
+    };
+    let mut mcfg = if pick(2, 1) == 0 {
+        MachineConfig::tiny()
+    } else {
+        MachineConfig::single_core()
+    };
+    mcfg.cores = 1 + pick(4, 2) as usize;
+    mcfg.smt = pick(2, 3) == 1;
+    mcfg.prefetcher_enabled = pick(2, 4) == 1;
+    if let Some(llc) = &mut mcfg.llc {
+        llc.sets = 256 << pick(3, 5);
+        llc.policy = policy;
+    }
+    if pick(3, 6) == 0 {
+        mcfg.l2 = None;
+    } else {
+        mcfg.l2 = Some(CacheConfig {
+            sets: 128,
+            ways: 1 + pick(8, 7) as usize,
+            write_back: pick(2, 8) == 1,
+            policy,
+        });
+    }
+    mcfg.mba = if pick(2, 9) == 1 {
+        Some(MbaThrottle {
+            max_requests_per_window: 1 + (seed % 31) as u32,
+            throttle_stall: seed % 997,
+        })
+    } else {
+        None
+    };
+    mcfg.time_model = if pick(2, 10) == 1 {
+        TimeModel::hashed(seed ^ 0xdead_beef)
+    } else {
+        TimeModel::intel_like()
+    };
+
+    let disable = match pick(7, 11) {
+        0 => None,
+        k => Some(Mechanism::ALL[(k - 1) as usize]),
+    };
+    let cell = MatrixCell {
+        machine: labels[pick(labels.len() as u64, 12) as usize].to_string(),
+        mcfg: mcfg.clone(),
+        disable,
+        tp: match disable {
+            Some(m) => TimeProtConfig::full_without(m),
+            None => TimeProtConfig::full(),
+        },
+    };
+
+    let obligation = |name: &'static str, salt: u64| {
+        let mut ob = ObligationResult::new(name);
+        ob.checked_points = ((seed ^ salt) % 100_000) as usize;
+        for v in 0..(seed ^ salt) % 3 {
+            ob.violations.push(Violation {
+                kind: match (seed ^ salt ^ v) % 7 {
+                    0 => ViolationKind::PartitionCacheLine,
+                    1 => ViolationKind::PartitionFrame,
+                    2 => ViolationKind::PartitionTlb,
+                    3 => ViolationKind::FlushResidue,
+                    4 => ViolationKind::PadOverrun,
+                    5 => ViolationKind::PadMistimed,
+                    _ => ViolationKind::IpcEarlyDelivery,
+                },
+                at: Cycles(seed ^ salt ^ (v << 20)),
+                detail: details[((seed ^ salt ^ v) % details.len() as u64) as usize].to_string(),
+            });
+        }
+        ob
+    };
+
+    let event = |salt: u64| -> Option<ObsEvent> {
+        match (seed ^ salt) % 5 {
+            0 => None,
+            1 => Some(ObsEvent::Clock(Cycles(seed ^ salt))),
+            2 => Some(ObsEvent::IpcRecv {
+                msg: seed ^ salt,
+                at: Cycles(salt),
+            }),
+            3 => Some(ObsEvent::Fault),
+            _ => Some(ObsEvent::Halted),
+        }
+    };
+    let ni = (0..1 + seed % 4)
+        .map(|m| ModelVerdict {
+            model: if m % 2 == 0 {
+                TimeModel::intel_like()
+            } else {
+                TimeModel::hashed(seed ^ m)
+            },
+            verdict: if (seed ^ m) % 2 == 0 {
+                NiVerdict::Pass {
+                    secrets: 2 + (seed % 5) as usize,
+                    events_compared: (seed % 100_000) as usize,
+                }
+            } else {
+                NiVerdict::Leak {
+                    secret_a: seed % 9,
+                    secret_b: 1 + seed % 7,
+                    divergence: (seed % 4096) as usize,
+                    event_a: event(m),
+                    event_b: event(m ^ 1),
+                }
+            },
+        })
+        .collect();
+
+    let report = ProofReport {
+        // The format recomputes conformance from the machine config, so
+        // a representable report carries exactly this value.
+        aisa: check_conformance(&cell.mcfg),
+        p: obligation("P", 0x1111),
+        f: obligation("F", 0x2222),
+        t: obligation("T", 0x3333),
+        ni,
+        steps: (seed % 10_000_000) as usize,
+    };
+    (cell, report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One cell in, the same cell out.
+    #[test]
+    fn single_cell_roundtrips(seed in any::<u64>()) {
+        let (cell, report) = synth_cell(seed);
+        let mut text = String::new();
+        wire::write_cell(&mut text, 0, &cell, &report);
+        let parsed = wire::parse_cells(&text).expect("serialised cell must parse");
+        prop_assert_eq!(parsed.len(), 1);
+        let (idx, cell2, report2) = &parsed[0];
+        prop_assert_eq!(*idx, 0usize);
+        prop_assert_eq!(cell2, &cell);
+        prop_assert_eq!(report2, &report);
+    }
+
+    /// A sweep split into shards, serialised out of order with comments
+    /// and blank lines injected, merges to the same report as the whole
+    /// sweep serialised at once.
+    #[test]
+    fn sharded_outputs_merge_to_the_whole(seed in any::<u64>(), cells in 2u64..7) {
+        let sweep: Vec<(MatrixCell, ProofReport)> =
+            (0..cells).map(|i| synth_cell(seed.wrapping_add(i * 0x9e37_79b9))).collect();
+        let whole = MatrixReport { cells: sweep.clone() };
+        let reference = wire::merge_cells(
+            wire::parse_cells(&wire::serialize_report(&whole)).unwrap(),
+        )
+        .unwrap();
+
+        // Shard: even indices to one worker output, odd to another,
+        // merged in reverse order with decoration in between.
+        let mut shard_a = String::from("# worker A\n");
+        let mut shard_b = String::new();
+        for (i, (c, r)) in sweep.iter().enumerate() {
+            let out = if i % 2 == 0 { &mut shard_a } else { &mut shard_b };
+            wire::write_cell(out, i, c, r);
+            out.push('\n');
+        }
+        let merged = wire::merge_cells(
+            wire::parse_cells(&format!("{shard_b}\n# glue\n{shard_a}")).unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(&merged, &reference);
+        prop_assert_eq!(merged.to_string(), reference.to_string());
+    }
+}

@@ -435,7 +435,7 @@ impl Cache {
                     if way < mid {
                         bits |= 1 << node; // point right (away from us)
                         hi = mid;
-                        node = node * 2;
+                        node *= 2;
                     } else {
                         bits &= !(1 << node); // point left
                         lo = mid;
@@ -481,7 +481,7 @@ impl Cache {
                         node = node * 2 + 1;
                     } else {
                         hi = mid;
-                        node = node * 2;
+                        node *= 2;
                     }
                 }
                 lo
@@ -512,7 +512,7 @@ mod tests {
 
     fn addr_for(set: usize, tag_round: u64) -> PAddr {
         // Address whose line index is `set + 4*tag_round` in a 4-set cache.
-        PAddr(((tag_round * 4 + set as u64) << LINE_BITS) as u64)
+        PAddr((tag_round * 4 + set as u64) << LINE_BITS)
     }
 
     #[test]
@@ -623,7 +623,7 @@ mod tests {
         });
         // Fill 4 ways, then a 5th access must evict exactly one line.
         for t in 0..4u64 {
-            c.access(PAddr(t << LINE_BITS << 0), false, DomainTag(0));
+            c.access(PAddr(t << LINE_BITS), false, DomainTag(0));
         }
         assert_eq!(c.occupancy(), 4);
         c.access(PAddr(4 << LINE_BITS), false, DomainTag(0));

@@ -302,6 +302,11 @@ impl Machine {
         self.access_inner(core, asid, pc, false, true, asp, owner)
     }
 
+    // The access-path internals thread the full per-access context
+    // (core, translation, intent, ghost owner) as scalars on purpose:
+    // bundling them into a struct would only add a name for something
+    // that never outlives one call.
+    #[allow(clippy::too_many_arguments)]
     fn access_inner(
         &mut self,
         core: CoreId,
@@ -384,6 +389,7 @@ impl Machine {
     /// Walk the cache hierarchy for `paddr`, build the [`MemEvent`],
     /// charge the time model and run the prefetcher. Returns cycles
     /// charged and the serving level.
+    #[allow(clippy::too_many_arguments)]
     fn charge_phys(
         &mut self,
         core: CoreId,
@@ -444,6 +450,7 @@ impl Machine {
     }
 
     /// The pure hierarchy traversal: L1 → L2 → LLC → DRAM.
+    #[allow(clippy::too_many_arguments)]
     fn hierarchy_walk(
         &mut self,
         core: CoreId,

@@ -123,13 +123,15 @@ impl KernelImage {
 
     fn text_line(&self, line_index: u64) -> PAddr {
         let lines_per_frame = tp_hw::types::PAGE_SIZE / LINE_SIZE;
-        let frame = self.text_frames[(line_index / lines_per_frame) as usize % KTEXT_FRAMES];
+        let frame =
+            self.text_frames[(line_index / lines_per_frame) as usize % self.text_frames.len()];
         PAddr::from_pfn(frame, (line_index % lines_per_frame) * LINE_SIZE)
     }
 
     fn data_line(&self, line_index: u64) -> PAddr {
         let lines_per_frame = tp_hw::types::PAGE_SIZE / LINE_SIZE;
-        let frame = self.data_frames[(line_index / lines_per_frame) as usize % KDATA_FRAMES];
+        let frame =
+            self.data_frames[(line_index / lines_per_frame) as usize % self.data_frames.len()];
         PAddr::from_pfn(frame, (line_index % lines_per_frame) * LINE_SIZE)
     }
 

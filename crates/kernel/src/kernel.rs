@@ -24,7 +24,7 @@ use crate::kclone::{
     KTEXT_FRAMES,
 };
 use crate::layout::{CODE_VPN, DATA_VPN};
-use crate::program::{Instr, IpcDelivery, StepFeedback, SyscallReq};
+use crate::program::{Instr, IpcDelivery, Program, StepFeedback, SyscallReq};
 use crate::vspace::{MapError, Mapping, VSpace};
 use tp_hw::irq::TIMER_LINE;
 use tp_hw::machine::{Machine, MachineConfig};
@@ -410,6 +410,21 @@ impl System {
             data.push(f);
         }
         Ok(KernelImage::new(text, data))
+    }
+
+    /// Replace domain `d`'s program, leaving every other piece of state
+    /// untouched. Only sound on a pristine system (no steps taken yet):
+    /// construction never looks at program *content*, so a fresh system
+    /// with a swapped program is indistinguishable from one built with
+    /// that program in its [`KernelConfig`]. [`SystemTemplate`] builds
+    /// on this to amortise construction across many runs.
+    pub fn replace_program(&mut self, d: DomainId, program: Box<dyn Program>) {
+        let dom = &mut self.kernel.domains[d.0];
+        debug_assert_eq!(
+            dom.retired, 0,
+            "replace_program is only sound before the system has stepped"
+        );
+        dom.program = program;
     }
 
     /// The observation log of `d`.
@@ -936,6 +951,48 @@ impl System {
     }
 }
 
+/// A frame-allocation reuse path for [`System::new`]: build the system
+/// once, then stamp out cheap pristine copies for every run.
+///
+/// Sweep drivers like the exhaustive checker construct on the order of
+/// 1.5k systems per configuration, and full construction (colour-aware
+/// frame allocation, page-table assembly, kernel-image cloning) is the
+/// dominant cost of each small run. Construction is deterministic and
+/// independent of program *content*, so a template clones its pristine
+/// system — a flat memcpy of frames, tables and caches — instead of
+/// re-deriving all of it, and [`SystemTemplate::instantiate_with_program`]
+/// swaps in the per-run program afterwards. The copies are
+/// indistinguishable from freshly built systems (the digest tests in
+/// `tp-core` pin this), so checkers keep their bit-identical-verdict
+/// guarantee.
+#[derive(Debug, Clone)]
+pub struct SystemTemplate {
+    pristine: System,
+}
+
+impl SystemTemplate {
+    /// Build the template's pristine system once.
+    pub fn new(mcfg: MachineConfig, kcfg: KernelConfig) -> Result<Self, KernelError> {
+        Ok(SystemTemplate {
+            pristine: System::new(mcfg, kcfg)?,
+        })
+    }
+
+    /// A fresh system, identical to one built by [`System::new`] with
+    /// the template's configuration.
+    pub fn instantiate(&self) -> System {
+        self.pristine.clone()
+    }
+
+    /// A fresh system with domain `d`'s program replaced — the per-run
+    /// fast path of the exhaustive checker.
+    pub fn instantiate_with_program(&self, d: DomainId, program: Box<dyn Program>) -> System {
+        let mut sys = self.pristine.clone();
+        sys.replace_program(d, program);
+        sys
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1037,6 +1094,51 @@ mod tests {
         let sys = two_idle(TimeProtConfig::off());
         assert_eq!(sys.kernel.images.len(), 1);
         assert!(sys.kernel.domains.iter().all(|d| d.kimage == 0));
+    }
+
+    /// The template fast path must be indistinguishable from full
+    /// construction: identical machine digests at birth, identical
+    /// behaviour (digests, observations, switch log) after running.
+    #[test]
+    fn template_instantiation_matches_fresh_construction() {
+        let trace = |n: u64| {
+            TraceProgram::new(
+                (0..n)
+                    .map(|i| Instr::Store(data_addr((i * 64) % (4 * 4096))))
+                    .chain(std::iter::once(Instr::Halt))
+                    .collect(),
+            )
+        };
+        let kcfg = |hi: TraceProgram| {
+            KernelConfig::new(vec![
+                DomainSpec::new(Box::new(hi))
+                    .with_slice(Cycles(2_000))
+                    .with_pad(Cycles(8_000)),
+                DomainSpec::new(Box::new(IdleProgram))
+                    .with_slice(Cycles(2_000))
+                    .with_pad(Cycles(8_000)),
+            ])
+            .with_tp(TimeProtConfig::full())
+        };
+
+        let template = SystemTemplate::new(MachineConfig::single_core(), kcfg(trace(0))).unwrap();
+        for n in [0, 17, 160] {
+            let mut fresh = System::new(MachineConfig::single_core(), kcfg(trace(n))).unwrap();
+            let mut cheap = template.instantiate_with_program(DomainId(0), Box::new(trace(n)));
+            assert_eq!(
+                fresh.hw.machine_digest(),
+                cheap.hw.machine_digest(),
+                "program {n}: digest must be unchanged by the reuse path"
+            );
+            fresh.run_cycles(Cycles(60_000), 40_000);
+            cheap.run_cycles(Cycles(60_000), 40_000);
+            assert_eq!(fresh.hw.machine_digest(), cheap.hw.machine_digest());
+            assert_eq!(fresh.now(), cheap.now(), "program {n}: clocks diverged");
+            for d in [DomainId(0), DomainId(1)] {
+                assert_eq!(fresh.observation(d), cheap.observation(d), "program {n}");
+            }
+            assert_eq!(fresh.kernel.switch_log.len(), cheap.kernel.switch_log.len());
+        }
     }
 
     #[test]

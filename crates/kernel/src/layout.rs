@@ -33,9 +33,12 @@ pub fn code_addr(offset: u64) -> VAddr {
 mod tests {
     use super::*;
 
+    // A 1 MiB code window must never run into the data window; checked
+    // at compile time since every term is a constant.
+    const _: () = assert!(CODE_BASE.0 + (1 << 20) <= DATA_BASE.0);
+
     #[test]
     fn windows_do_not_overlap() {
-        assert!(CODE_BASE.0 + (1 << 20) <= DATA_BASE.0);
         assert_eq!(data_addr(0x40), VAddr(0x2000_0040));
         assert_eq!(code_addr(4), VAddr(0x1000_0004));
         assert_eq!(CODE_VPN, 0x10000);

@@ -112,7 +112,12 @@ pub struct StepFeedback {
 /// values must produce the same sequence of instructions. All interesting
 /// behaviour (secret-dependent access patterns, probe loops) lives in
 /// implementations of this trait.
-pub trait Program: ProgramClone + core::fmt::Debug {
+///
+/// `Send + Sync` are supertraits so that kernel configurations and whole
+/// systems can move onto the persistent scheduler's worker pool
+/// (`tp-sched`) and templates can be shared between workers; programs
+/// are plain data, so every implementor satisfies them for free.
+pub trait Program: ProgramClone + core::fmt::Debug + Send + Sync {
     /// Produce the next instruction given feedback about the last one.
     fn next(&mut self, feedback: &StepFeedback) -> Instr;
 }

@@ -109,9 +109,9 @@ impl VSpace {
             return Err(MapError::AlreadyMapped { vpn });
         }
         let li = vpn / ENTRIES_PER_TABLE;
-        if !self.leaves.contains_key(&li) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.leaves.entry(li) {
             let f = table_frame.ok_or(MapError::NoTableFrame)?;
-            self.leaves.insert(li, f);
+            e.insert(f);
         }
         self.map.insert(vpn, mapping);
         Ok(())

@@ -152,12 +152,15 @@ impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 
+/// A boxed generator closure, one alternative of a [`Union`].
+pub type Alternative<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
 /// Uniform choice between alternative generators ([`prop_oneof!`]).
-pub struct Union<T>(Vec<Box<dyn Fn(&mut TestRng) -> T>>);
+pub struct Union<T>(Vec<Alternative<T>>);
 
 impl<T> Union<T> {
     /// A union over `alternatives`.
-    pub fn new(alternatives: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Self {
+    pub fn new(alternatives: Vec<Alternative<T>>) -> Self {
         assert!(!alternatives.is_empty(), "empty prop_oneof!");
         Union(alternatives)
     }

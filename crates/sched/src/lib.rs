@@ -1,0 +1,44 @@
+//! # tp-sched — the sweep scheduler
+//!
+//! The proof engine's workloads (the (time-model × secret) product of a
+//! proof, the Hi-program enumeration, a whole scenario matrix) are
+//! embarrassingly parallel sweeps over deterministic tasks. Before this
+//! crate, every engine call spawned a scoped thread pool, paid the spawn
+//! cost again for each matrix cell, and could not hand results back
+//! until the whole call finished.
+//!
+//! `tp-sched` replaces that with a **persistent** scheduler:
+//!
+//! * [`WorkerPool`] — a long-lived pool of worker threads, each with its
+//!   own deque; idle workers steal from the shared submission queue and
+//!   from each other's deques, so an uneven sweep still saturates the
+//!   machine.
+//! * [`OrderedResults`] — a streaming results channel that yields task
+//!   results **in submission order** as they become ready, so callers
+//!   can render or merge a sweep incrementally while later tasks are
+//!   still running, and the merged output stays deterministic.
+//! * [`global`] — one process-wide pool instance, sized by
+//!   `TP_THREADS` / [`configure_global_threads`] / the host's available
+//!   parallelism, so an entire `bin/all` run shares a single set of
+//!   worker threads.
+//!
+//! Determinism contract: the pool schedules dynamically, but results are
+//! keyed by submission index and [`WorkerPool::map`] returns them in
+//! index order — callers that merge in index order get bit-identical
+//! output regardless of worker count or interleaving. The proof engine's
+//! determinism harness pins this against the sequential checkers.
+//!
+//! Blocked waiters ([`WorkerPool::map`] callers and [`OrderedResults`]
+//! consumers) *help*: while waiting they pull pending tasks from the
+//! submission queue and worker deques and run them inline. That keeps
+//! the pool deadlock-free even when a task itself submits a nested
+//! batch, and puts the caller's thread to work instead of parking it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod stream;
+
+pub use pool::{available_threads, configure_global_threads, global, WorkerPool};
+pub use stream::OrderedResults;

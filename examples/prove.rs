@@ -2,28 +2,29 @@
 //!
 //! Discharges the paper's §5 proof obligations over the canonical
 //! omnibus scenario (every channel exercised at once), quantified over a
-//! family of time models and sharded across the proof engine's worker
-//! pool, and then shows the ablation: remove any one §4 mechanism and
-//! the checker produces a concrete leak witness. The ablation sweep is a
-//! single [`ScenarioMatrix`] run.
+//! family of time models and sharded across the persistent `tp-sched`
+//! worker pool, and then shows the ablation: remove any one §4 mechanism
+//! and the checker produces a concrete leak witness. The ablation sweep
+//! is a single [`ScenarioMatrix`] run — and both phases share the same
+//! pool instance, spawned once for the whole process.
 //!
 //! ```sh
 //! cargo run --release --example prove
 //! ```
 
-use time_protection::core::engine::{available_threads, prove_parallel};
+use time_protection::core::engine::prove_parallel;
 use time_protection::core::{default_time_models, ScenarioMatrix};
 
 fn main() {
-    let threads = available_threads();
+    let threads = tp_sched::global().threads();
     println!("== Discharging the proof obligations of §5 ({threads} worker threads) ==\n");
     let scenario = tp_bench::canonical_scenario(None);
-    let report = prove_parallel(&scenario, &default_time_models(), threads);
+    let report = prove_parallel(&scenario, &default_time_models());
     println!("{report}");
 
     println!("== Ablation: every mechanism is load-bearing (one matrix run) ==\n");
     let matrix = ScenarioMatrix::new("canonical", tp_bench::canonical_machine()).sweep_ablations();
-    let ablations = matrix.run_ni(threads, |cell| tp_bench::canonical_scenario(cell.disable));
+    let ablations = matrix.run_ni(|cell| tp_bench::canonical_scenario(cell.disable));
     for (cell, verdict) in &ablations {
         match cell.disable {
             Some(m) => println!("without {m:?}: {verdict}"),

@@ -30,6 +30,9 @@ pub use tp_hw as hw;
 /// The kernel substrate (re-export of `tp-kernel`).
 pub use tp_kernel as kernel;
 
+/// The persistent sweep scheduler (re-export of `tp-sched`).
+pub use tp_sched as sched;
+
 /// The proof harness (re-export of `tp-core`).
 pub use tp_core as core;
 

@@ -34,7 +34,7 @@ fn web_server(secret: u64) -> TraceProgram {
     }
     v.push(Instr::Syscall(SyscallReq::Send {
         ep: 0,
-        msg: 0x71a1_717e_77,
+        msg: 0x0071_a171_7e77,
     }));
     v.push(Instr::Halt);
     TraceProgram::new(v)
