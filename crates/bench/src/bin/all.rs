@@ -3,11 +3,12 @@
 //! Every parallel phase shares the one persistent worker pool.
 //!
 //! ```sh
-//! all [--threads N] [--cells SPEC] [--models N]
+//! all [--threads N] [--cells SPEC] [--models N] [--replay-check]
 //! ```
 //!
-//! `--cells` / `--models` shape the final matrix phase (the E1–E14
-//! reports are fixed-size); `--threads` sizes the pool for everything.
+//! `--cells` / `--models` / `--replay-check` shape the final matrix
+//! phase (the E1–E14 reports are fixed-size); `--threads` sizes the
+//! pool for everything.
 
 use tp_bench::cli::SweepArgs;
 
@@ -20,7 +21,7 @@ fn main() {
         }
         Err(e) => {
             eprintln!("all: {e}");
-            eprintln!("usage: all [--threads N] [--cells SPEC] [--models N]");
+            eprintln!("usage: all [--threads N] [--cells SPEC] [--models N] [--replay-check]");
             std::process::exit(2);
         }
     };
@@ -30,7 +31,7 @@ fn main() {
 
     // Validate the matrix selection up front: a bad --cells index must
     // fail in milliseconds, not after the full E1–E14 report phase.
-    let matrix = tp_bench::shaped_matrix(args.models);
+    let matrix = tp_bench::shaped_matrix(args.models).with_replay_check(args.replay_check);
     let indices = match args.select_cells(matrix.cells().len()) {
         Ok(v) => v,
         Err(e) => {

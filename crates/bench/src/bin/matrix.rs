@@ -7,6 +7,10 @@
 //! # single process, whole sweep (per-cell progress streams to stderr)
 //! matrix [--threads N] [--cells SPEC] [--models N]
 //!
+//! # audit mode: paranoid double-run per (model, secret); the report
+//! # is bit-identical to the certified single-run default
+//! matrix --replay-check
+//!
 //! # shard across two processes, then merge — byte-identical output
 //! matrix --worker --cells 0..11  > a.txt
 //! matrix --worker --cells 11..21 > b.txt
@@ -21,7 +25,7 @@ fn main() {
         Err(e) => {
             eprintln!("matrix: {e}");
             eprintln!(
-                "usage: matrix [--threads N] [--cells SPEC] [--models N] \
+                "usage: matrix [--threads N] [--cells SPEC] [--models N] [--replay-check] \
                  [--worker | --merge FILE...]"
             );
             std::process::exit(2);
@@ -53,7 +57,7 @@ fn main() {
         return;
     }
 
-    let matrix = tp_bench::shaped_matrix(args.models);
+    let matrix = tp_bench::shaped_matrix(args.models).with_replay_check(args.replay_check);
     let indices = match args.select_cells(matrix.cells().len()) {
         Ok(v) => v,
         Err(e) => {

@@ -11,6 +11,10 @@
 //!   (`a..b` is half-open). This is also how a sweep is sharded across
 //!   processes: give each worker a disjoint slice.
 //! * `--models N` — use only the first `N` of the default time models.
+//! * `--replay-check` — re-enable the paranoid double-run per
+//!   (model, secret) instead of the certified single-run default: every
+//!   NI baseline comes from a plain replay, auditing the transparency
+//!   certification. Reports are bit-identical to certified mode.
 //!
 //! `bin/matrix` additionally understands the scale-out modes:
 //!
@@ -28,6 +32,8 @@ pub struct SweepArgs {
     pub cells: Option<Vec<usize>>,
     /// `--models N`.
     pub models: Option<usize>,
+    /// `--replay-check`.
+    pub replay_check: bool,
     /// `--worker`.
     pub worker: bool,
     /// `--merge FILE...` (everything after the flag).
@@ -62,6 +68,7 @@ impl SweepArgs {
                     }
                     out.models = Some(n);
                 }
+                "--replay-check" => out.replay_check = true,
                 "--worker" => out.worker = true,
                 "--merge" => {
                     out.merge.extend(args.by_ref());
@@ -154,6 +161,16 @@ mod tests {
         assert_eq!(a.cells, Some(vec![0, 1, 2, 7]));
         assert_eq!(a.models, Some(2));
         assert!(!a.worker);
+    }
+
+    #[test]
+    fn parses_replay_check() {
+        let a = SweepArgs::parse(strs(&["--replay-check"])).unwrap();
+        assert!(a.replay_check);
+        assert!(!SweepArgs::default().replay_check);
+        // Composes with worker mode: an audit shard is a valid shard.
+        let w = SweepArgs::parse(strs(&["--worker", "--replay-check"])).unwrap();
+        assert!(w.worker && w.replay_check);
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! runners skip the timing assertion (with a note) instead of flaking,
 //! while any genuine multi-core runner still enforces the 2× bar.
 
-use tp_bench::{canonical_scenario, time_iters};
-use tp_core::engine::{available_threads, parallel_map, prove_parallel};
+use tp_bench::{canonical_machine, canonical_scenario, time_iters};
+use tp_core::engine::{available_threads, parallel_map, prove_parallel, ScenarioMatrix};
 use tp_core::proof::{default_time_models, prove};
+use tp_sched::WorkerPool;
 
 /// CPU-bound spin work the compiler cannot elide.
 fn spin(rounds: u64) -> u64 {
@@ -82,5 +83,75 @@ fn parallel_prove_matches_and_beats_sequential() {
         best >= 2.0,
         "host sustains {ceiling:.2}x on spin work, so the engine must reach >= 2x \
          in some attempt; best observed {best:.2}x"
+    );
+}
+
+/// The transparency dividend: on the E11 ablation sweep, certified
+/// single-run mode must do at most ~0.6× the work of `--replay-check`
+/// mode (per cell: models × secrets + 1 runs instead of
+/// 2 × models × secrets). The comparison self-calibrates by timing both
+/// modes on a single-worker pool — a pure work measurement, immune to
+/// parallel-tail artefacts — with a margin plus retries for scheduler
+/// noise, and is gated on ≥ 4 cores like the speedup assertion above.
+#[test]
+fn certified_single_run_halves_replay_check_work_on_the_e11_sweep() {
+    // Two time models keep a double-run sweep test-profile friendly;
+    // the per-cell work ratio (7 runs vs 12) is model-count agnostic.
+    let models = default_time_models()[..2].to_vec();
+    let matrix = |replay_check: bool| {
+        ScenarioMatrix::new("canonical", canonical_machine())
+            .sweep_ablations()
+            .with_models(models.clone())
+            .with_replay_check(replay_check)
+    };
+
+    // Functional gate first: both modes must produce bit-identical
+    // reports — certificates included — or timing them is meaningless.
+    let pool = WorkerPool::new(1);
+    let certified = matrix(false).run_on(&pool, |cell| canonical_scenario(cell.disable));
+    let audited = matrix(true).run_on(&pool, |cell| canonical_scenario(cell.disable));
+    assert_eq!(
+        certified, audited,
+        "certified and replay-check E11 sweeps must agree bit for bit"
+    );
+    for (cell, report) in &certified.cells {
+        let cert = report.transparency.expect("every cell is certified");
+        assert!(cert.transparent(), "{}: {cert}", cell.label());
+    }
+
+    if available_threads() < 4 {
+        eprintln!(
+            "(host has {} thread(s); skipping the <= 0.6x work assertion)",
+            available_threads()
+        );
+        return;
+    }
+
+    // Theoretical ratio with 2 models × 3 secrets: (6 + 1) / 12 = 0.58;
+    // the margin absorbs per-run variance on shared runners.
+    let margin = 0.72;
+    let mut ratios = Vec::new();
+    for attempt in 0..3 {
+        let t_certified = time_iters(3, || {
+            matrix(false).run_on(&pool, |cell| canonical_scenario(cell.disable))
+        })
+        .1;
+        let t_audited = time_iters(3, || {
+            matrix(true).run_on(&pool, |cell| canonical_scenario(cell.disable))
+        })
+        .1;
+        let ratio = t_certified.as_secs_f64() / t_audited.as_secs_f64();
+        eprintln!(
+            "attempt {attempt}: certified {t_certified:?}, replay-check {t_audited:?} \
+             (certified/replay = {ratio:.3})"
+        );
+        ratios.push(ratio);
+        if ratio <= margin {
+            return;
+        }
+    }
+    panic!(
+        "certified single-run mode did not stay under {margin}x of replay-check work \
+         in any attempt (ratios {ratios:?}); the dropped-replay optimisation has regressed"
     );
 }

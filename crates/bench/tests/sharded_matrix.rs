@@ -63,6 +63,43 @@ fn two_process_sharded_run_merges_to_the_single_process_report() {
     assert_eq!(merged_rev, single, "merge must be order-independent");
 }
 
+/// Transparency certificates survive the wire — and because certified
+/// single-run mode and `--replay-check` produce bit-identical reports,
+/// a sweep sharded across *mixed-mode* workers still merges to the
+/// exact single-process report.
+#[test]
+fn mixed_mode_shards_merge_to_the_single_process_report() {
+    let single = matrix(&["--models", "1", "--cells", "0..4"]);
+
+    let shard_a = matrix(&["--worker", "--models", "1", "--cells", "0..2"]);
+    let shard_b = matrix(&[
+        "--worker",
+        "--replay-check",
+        "--models",
+        "1",
+        "--cells",
+        "2..4",
+    ]);
+    assert!(
+        shard_a.contains("cert i=0 ") && shard_b.contains("cert i=2 "),
+        "worker records must carry the transparency digest"
+    );
+
+    let dir = std::env::temp_dir().join(format!("tp-shard-mixed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create shard dir");
+    let a = dir.join("a.txt");
+    let b = dir.join("b.txt");
+    std::fs::write(&a, &shard_a).expect("write shard a");
+    std::fs::write(&b, &shard_b).expect("write shard b");
+    let merged = matrix(&["--merge", a.to_str().unwrap(), b.to_str().unwrap()]);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        merged, single,
+        "a replay-check shard must merge byte-identically with a certified shard"
+    );
+}
+
 #[test]
 fn merge_rejects_incomplete_shard_sets() {
     let shard = matrix(&["--worker", "--models", "1", "--cells", "0..2"]);

@@ -16,8 +16,13 @@ use tp_kernel::kernel::System;
 fn monitored_lo_trace(disable: Option<Mechanism>, secret: u64) -> Vec<ObsEvent> {
     let sc = canonical_scenario(disable);
     let sys = System::new(sc.mcfg.clone(), (sc.make_kcfg)(secret)).expect("canonical system");
-    let run = run_monitored(sys, sc.budget, sc.max_steps);
-    run.system.observation(sc.lo).events.clone()
+    let run = run_monitored(sys, sc.lo, sc.budget, sc.max_steps);
+    assert_eq!(
+        run.lo_trace,
+        run.system.observation(sc.lo).events,
+        "certified trace must be the system's own log"
+    );
+    run.lo_trace
 }
 
 #[test]

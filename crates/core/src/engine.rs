@@ -10,8 +10,10 @@
 //! pool while keeping results **bit-identical** to the sequential
 //! checkers:
 //!
-//! * [`prove_parallel`] — shards monitored runs and NI replays per
-//!   (model, secret), then merges P/F/T evidence and verdicts in the
+//! * [`prove_parallel`] — shards one *certified* monitored run per
+//!   (model, secret) (the run's Lo trace doubles as the NI baseline,
+//!   with a single plain replay certifying observation transparency —
+//!   [`ProofMode`]), then merges P/F/T evidence and verdicts in the
 //!   exact lexicographic order the sequential `prove` accumulates in.
 //! * [`check_exhaustive_parallel`] — shards the program enumeration by
 //!   index blocks; a leak verdict is the *lowest-index* witness, which
@@ -38,7 +40,8 @@ use crate::exhaustive::{
     space_size, word_for_index, ExhaustiveConfig, ExhaustiveRunner, ExhaustiveVerdict,
 };
 use crate::noninterference::{
-    compare_secret_runs, first_divergence, lo_trace, run_monitored, NiScenario, NiVerdict,
+    compare_secret_runs, first_divergence, lo_trace, obs_digest, run_monitored, NiScenario,
+    NiVerdict, TransparencyCert,
 };
 use crate::obligation::ObligationResult;
 use crate::proof::{ModelVerdict, ProofReport};
@@ -103,6 +106,25 @@ where
 // Proof sharding
 // ---------------------------------------------------------------------
 
+/// How the engine obtains the NI baseline traces for a proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProofMode {
+    /// Certified single-run mode (the default): one monitored run per
+    /// (model, secret) provides *both* the P/F/T evidence and the NI
+    /// baseline trace, plus a single plain replay of the first pair
+    /// whose digest certifies that monitoring is observation-
+    /// transparent ([`TransparencyCert`]). Roughly halves engine work.
+    #[default]
+    Certified,
+    /// The paranoid audit mode (`--replay-check`): every (model,
+    /// secret) pair runs twice — monitored for P/F/T, plain for the NI
+    /// baseline — exactly like the sequential [`crate::proof::prove`].
+    /// Reports are bit-identical to certified mode whenever monitoring
+    /// really is transparent, which is what the determinism harness
+    /// pins.
+    ReplayCheck,
+}
+
 /// Owned inputs for one (model, secret) proof shard. Materialised on
 /// the submitting thread so the task itself is `'static` and can run on
 /// the persistent pool.
@@ -110,86 +132,169 @@ where
 struct ProofTask {
     /// Machine with the shard's time model applied.
     mcfg: MachineConfig,
-    /// Kernel configuration for the monitored run.
-    kcfg_monitored: KernelConfig,
-    /// Kernel configuration for the plain NI replay.
-    kcfg_replay: KernelConfig,
+    /// Kernel configuration for this (model, secret) pair.
+    kcfg: KernelConfig,
     lo: DomainId,
     budget: Cycles,
     max_steps: usize,
 }
 
-/// Per-(model, secret) evidence produced by one worker: the monitored
-/// run's P/F/T results plus the unmonitored NI replay trace.
+/// One unit of engine work: a monitored proof shard, or the single
+/// certification replay a certified-mode proof prepends.
+#[derive(Clone)]
+enum EngineTask {
+    /// Monitored run for one (model, secret) pair (both runs in
+    /// [`ProofMode::ReplayCheck`]).
+    Run(ProofTask),
+    /// The plain replay of the first (model, secret) pair whose digest
+    /// grounds the [`TransparencyCert`] (certified mode only).
+    CertReplay(ProofTask),
+}
+
+/// Per-(model, secret) evidence produced by one worker.
 struct ProofShard {
     p: ObligationResult,
     f: ObligationResult,
     t: ObligationResult,
     steps: usize,
+    /// The NI baseline trace: the certified monitored trace
+    /// ([`ProofMode::Certified`]) or the plain replay trace
+    /// ([`ProofMode::ReplayCheck`]).
     trace: Vec<ObsEvent>,
+    /// Rolling digest of the monitored run's Lo trace.
+    monitored_digest: u64,
+    /// Rolling chain of post-switch core digests.
+    switch_digest: u64,
+    /// Digest of the shard's own plain replay (replay-check mode only).
+    replay_digest: Option<u64>,
 }
 
-/// Flatten `scenario` × `models` into owned shard tasks, in the
-/// (model, secret) lexicographic order the merge consumes them in.
-fn proof_tasks(scenario: &NiScenario, models: &[TimeModel]) -> Vec<ProofTask> {
-    let mut tasks = Vec::with_capacity(models.len() * scenario.secrets.len());
+/// What one [`EngineTask`] produced.
+enum TaskOutput {
+    Run(Box<ProofShard>),
+    Cert(u64),
+}
+
+/// Flatten `scenario` × `models` into owned engine tasks, in the
+/// (model, secret) lexicographic order the merge consumes them in. In
+/// certified mode the certification replay leads the list so it
+/// overlaps the monitored runs on the pool.
+fn proof_tasks(scenario: &NiScenario, models: &[TimeModel], mode: ProofMode) -> Vec<EngineTask> {
+    let mut runs = Vec::with_capacity(models.len() * scenario.secrets.len());
     for model in models {
         let mut mcfg = scenario.mcfg.clone();
         mcfg.time_model = *model;
         for &s in &scenario.secrets {
-            tasks.push(ProofTask {
+            runs.push(ProofTask {
                 mcfg: mcfg.clone(),
-                kcfg_monitored: (scenario.make_kcfg)(s),
-                kcfg_replay: (scenario.make_kcfg)(s),
+                kcfg: (scenario.make_kcfg)(s),
                 lo: scenario.lo,
                 budget: scenario.budget,
                 max_steps: scenario.max_steps,
             });
         }
     }
+    let mut tasks = Vec::with_capacity(runs.len() + 1);
+    if mode == ProofMode::Certified {
+        tasks.push(EngineTask::CertReplay(runs[0].clone()));
+    }
+    tasks.extend(runs.into_iter().map(EngineTask::Run));
     tasks
 }
 
-/// Execute one proof shard: exactly the two runs the sequential driver
-/// performs for this (model, secret) pair — one monitored (P/F/T
-/// evidence) and one plain replay (the NI trace).
-fn run_proof_task(t: ProofTask) -> ProofShard {
-    let sys = System::new(t.mcfg.clone(), t.kcfg_monitored)
-        .expect("scenario construction must succeed for every secret");
-    let run = run_monitored(sys, t.budget, t.max_steps);
-    let trace = lo_trace(&t.mcfg, t.kcfg_replay, t.lo, t.budget, t.max_steps);
-    ProofShard {
-        p: run.p,
-        f: run.f,
-        t: run.t,
-        steps: run.steps,
-        trace,
+/// Execute one engine task. A [`EngineTask::Run`] in certified mode is
+/// the single monitored run whose trace doubles as the NI baseline; in
+/// replay-check mode it is exactly the two runs the sequential driver
+/// performs — one monitored (P/F/T evidence) and one plain replay (the
+/// NI trace).
+fn run_engine_task(task: EngineTask, mode: ProofMode) -> TaskOutput {
+    match task {
+        EngineTask::CertReplay(t) => TaskOutput::Cert(obs_digest(&lo_trace(
+            &t.mcfg,
+            t.kcfg,
+            t.lo,
+            t.budget,
+            t.max_steps,
+        ))),
+        EngineTask::Run(t) => {
+            let sys = System::new(t.mcfg.clone(), t.kcfg.clone())
+                .expect("scenario construction must succeed for every secret");
+            let run = run_monitored(sys, t.lo, t.budget, t.max_steps);
+            let (trace, replay_digest) = match mode {
+                ProofMode::Certified => (run.lo_trace, None),
+                ProofMode::ReplayCheck => {
+                    let replay = lo_trace(&t.mcfg, t.kcfg, t.lo, t.budget, t.max_steps);
+                    let digest = obs_digest(&replay);
+                    (replay, Some(digest))
+                }
+            };
+            TaskOutput::Run(Box::new(ProofShard {
+                p: run.p,
+                f: run.f,
+                t: run.t,
+                steps: run.steps,
+                trace,
+                monitored_digest: run.lo_digest,
+                switch_digest: run.switch_digest,
+                replay_digest,
+            }))
+        }
     }
 }
 
-/// Merge shards (in (model, secret) order) into a [`ProofReport`]
-/// identical to the sequential `prove`: same verdicts, same violation
-/// order, same first witness, same step count.
-fn merge_proof_shards(
+/// Number of engine tasks one proof submits under `mode`.
+fn proof_task_count(models: usize, secrets: usize, mode: ProofMode) -> usize {
+    models * secrets
+        + match mode {
+            ProofMode::Certified => 1,
+            ProofMode::ReplayCheck => 0,
+        }
+}
+
+/// Merge one proof's task outputs (consumed from `it` in submission
+/// order) into a [`ProofReport`] identical to the sequential `prove`:
+/// same verdicts, same violation order, same first witness, same step
+/// count, same transparency certificate.
+fn merge_proof_stream(
     aisa: tp_hw::aisa::ConformanceReport,
     models: &[TimeModel],
     secrets: &[u64],
-    shards: impl IntoIterator<Item = ProofShard>,
+    mode: ProofMode,
+    it: &mut impl Iterator<Item = TaskOutput>,
 ) -> ProofReport {
+    let cert_replay = match mode {
+        ProofMode::Certified => match it.next() {
+            Some(TaskOutput::Cert(d)) => Some(d),
+            _ => panic!("certification replay must lead a certified proof stream"),
+        },
+        ProofMode::ReplayCheck => None,
+    };
     let mut p = ObligationResult::new("P");
     let mut f = ObligationResult::new("F");
     let mut t = ObligationResult::new("T");
     let mut ni = Vec::with_capacity(models.len());
     let mut steps = 0;
-    let mut it = shards.into_iter();
+    let mut transparency: Option<TransparencyCert> = None;
     for model in models {
         let mut runs: Vec<(u64, Vec<ObsEvent>)> = Vec::with_capacity(secrets.len());
         for &s in secrets {
-            let shard = it.next().expect("one shard per (model, secret)");
+            let shard = match it.next() {
+                Some(TaskOutput::Run(s)) => *s,
+                _ => panic!("one monitored shard per (model, secret)"),
+            };
             p.merge(shard.p);
             f.merge(shard.f);
             t.merge(shard.t);
             steps += shard.steps;
+            if transparency.is_none() {
+                transparency = Some(TransparencyCert {
+                    monitored_digest: shard.monitored_digest,
+                    replay_digest: cert_replay
+                        .or(shard.replay_digest)
+                        .expect("certified or replay-check digest for the first shard"),
+                    switch_digest: shard.switch_digest,
+                });
+            }
             runs.push((s, shard.trace));
         }
         ni.push(ModelVerdict {
@@ -204,6 +309,7 @@ fn merge_proof_shards(
         t,
         ni,
         steps,
+        transparency,
     }
 }
 
@@ -217,7 +323,8 @@ fn check_proof_inputs(scenario: &NiScenario, models: &[TimeModel]) {
 }
 
 /// [`crate::proof::prove`], sharded over the (time-model × secret)
-/// product on the process-wide [`tp_sched::global`] pool.
+/// product on the process-wide [`tp_sched::global`] pool, in certified
+/// single-run mode ([`ProofMode::Certified`]).
 ///
 /// The resulting [`ProofReport`] is bit-identical to
 /// `prove(scenario, models)` regardless of worker count or scheduling.
@@ -231,10 +338,30 @@ pub fn prove_parallel_on(
     scenario: &NiScenario,
     models: &[TimeModel],
 ) -> ProofReport {
+    prove_parallel_mode(pool, scenario, models, ProofMode::Certified)
+}
+
+/// [`prove_parallel`] on an explicit pool with an explicit
+/// [`ProofMode`] — [`ProofMode::ReplayCheck`] is the `--replay-check`
+/// audit path that re-enables the paranoid double-run.
+pub fn prove_parallel_mode(
+    pool: &WorkerPool,
+    scenario: &NiScenario,
+    models: &[TimeModel],
+    mode: ProofMode,
+) -> ProofReport {
     check_proof_inputs(scenario, models);
     let aisa = check_conformance(&scenario.mcfg);
-    let shards = pool.map(proof_tasks(scenario, models), |_, t| run_proof_task(t));
-    merge_proof_shards(aisa, models, &scenario.secrets, shards)
+    let outputs = pool.map(proof_tasks(scenario, models, mode), move |_, t| {
+        run_engine_task(t, mode)
+    });
+    merge_proof_stream(
+        aisa,
+        models,
+        &scenario.secrets,
+        mode,
+        &mut outputs.into_iter(),
+    )
 }
 
 /// [`prove_parallel`] on a scoped spawn-per-call pool of `threads`
@@ -245,12 +372,28 @@ pub fn prove_parallel_scoped(
     models: &[TimeModel],
     threads: usize,
 ) -> ProofReport {
+    prove_parallel_scoped_mode(scenario, models, threads, ProofMode::Certified)
+}
+
+/// [`prove_parallel_scoped`] with an explicit [`ProofMode`].
+pub fn prove_parallel_scoped_mode(
+    scenario: &NiScenario,
+    models: &[TimeModel],
+    threads: usize,
+    mode: ProofMode,
+) -> ProofReport {
     check_proof_inputs(scenario, models);
     let aisa = check_conformance(&scenario.mcfg);
-    let tasks = proof_tasks(scenario, models);
+    let tasks = proof_tasks(scenario, models, mode);
     // Configs clone cheaply relative to the runs they parameterise.
-    let shards = parallel_map(&tasks, threads, |_, t| run_proof_task(t.clone()));
-    merge_proof_shards(aisa, models, &scenario.secrets, shards)
+    let outputs = parallel_map(&tasks, threads, |_, t| run_engine_task(t.clone(), mode));
+    merge_proof_stream(
+        aisa,
+        models,
+        &scenario.secrets,
+        mode,
+        &mut outputs.into_iter(),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -440,17 +583,37 @@ pub struct ScenarioMatrix {
     machines: Vec<(String, MachineConfig)>,
     ablations: Vec<Option<Mechanism>>,
     models: Vec<TimeModel>,
+    mode: ProofMode,
 }
 
 impl ScenarioMatrix {
     /// A matrix holding just `base` under full protection and the
-    /// default time-model family.
+    /// default time-model family, in certified single-run mode.
     pub fn new(label: impl Into<String>, base: MachineConfig) -> Self {
         ScenarioMatrix {
             machines: vec![(label.into(), base)],
             ablations: vec![None],
             models: crate::proof::default_time_models(),
+            mode: ProofMode::Certified,
         }
+    }
+
+    /// Re-enable the paranoid double-run per (model, secret) — the
+    /// `--replay-check` audit path. Reports stay bit-identical to
+    /// certified mode as long as monitoring is transparent (which the
+    /// certificate in every report pins).
+    pub fn with_replay_check(mut self, enabled: bool) -> Self {
+        self.mode = if enabled {
+            ProofMode::ReplayCheck
+        } else {
+            ProofMode::Certified
+        };
+        self
+    }
+
+    /// The [`ProofMode`] every cell is proved under.
+    pub fn mode(&self) -> ProofMode {
+        self.mode
     }
 
     /// The first (base) machine configuration.
@@ -638,6 +801,7 @@ impl ScenarioMatrix {
         C: FnMut(usize, &MatrixCell, &ProofReport),
     {
         let all = self.cells();
+        let mode = self.mode;
         // Flatten every selected cell into the one task list; remember
         // each cell's shard count and conformance for the ordered merge.
         let mut tasks = Vec::new();
@@ -646,22 +810,19 @@ impl ScenarioMatrix {
             let cell = &all[ci];
             let scenario = apply_cell(make_scenario(cell), cell);
             check_proof_inputs(&scenario, &self.models);
-            let cell_tasks = proof_tasks(&scenario, &self.models);
-            meta.push((
-                ci,
-                check_conformance(&cell.mcfg),
-                scenario.secrets.clone(),
+            let cell_tasks = proof_tasks(&scenario, &self.models, mode);
+            debug_assert_eq!(
                 cell_tasks.len(),
-            ));
+                proof_task_count(self.models.len(), scenario.secrets.len(), mode)
+            );
+            meta.push((ci, check_conformance(&cell.mcfg), scenario.secrets.clone()));
             tasks.extend(cell_tasks);
         }
 
-        let mut stream = pool.map_streamed(tasks, |_, t| run_proof_task(t));
+        let mut stream = pool.map_streamed(tasks, move |_, t| run_engine_task(t, mode));
         let mut out = Vec::with_capacity(indices.len());
-        for (ci, aisa, secrets, count) in meta {
-            let shards: Vec<ProofShard> = stream.by_ref().take(count).collect();
-            assert_eq!(shards.len(), count, "one shard per (model, secret)");
-            let report = merge_proof_shards(aisa, &self.models, &secrets, shards);
+        for (ci, aisa, secrets) in meta {
+            let report = merge_proof_stream(aisa, &self.models, &secrets, mode, &mut stream);
             on_cell(ci, &all[ci], &report);
             out.push((ci, all[ci].clone(), report));
         }
@@ -682,7 +843,7 @@ impl ScenarioMatrix {
         let inner = (threads / outer).max(1);
         let reports = parallel_map(&cells, outer, |_, cell| {
             let scenario = apply_cell(make_scenario(cell), cell);
-            prove_parallel_scoped(&scenario, &self.models, inner)
+            prove_parallel_scoped_mode(&scenario, &self.models, inner, self.mode)
         });
         MatrixReport {
             cells: cells.into_iter().zip(reports).collect(),

@@ -89,10 +89,12 @@ pub mod wire;
 
 pub use engine::{
     available_threads, check_exhaustive_parallel, prove_parallel, MatrixCell, MatrixReport,
-    ScenarioMatrix,
+    ProofMode, ScenarioMatrix,
 };
 pub use exhaustive::{check_exhaustive, ExhaustiveConfig, ExhaustiveVerdict};
-pub use noninterference::{check_noninterference, NiScenario, NiVerdict};
+pub use noninterference::{
+    check_noninterference, obs_digest, NiScenario, NiVerdict, TransparencyCert,
+};
 pub use obligation::{ObligationResult, Violation, ViolationKind};
 pub use proof::{default_time_models, prove, ProofReport};
 pub use wcet::recommended_pad;

@@ -17,6 +17,20 @@
 //! absence over the enumerated secrets (and over a family of time
 //! models, see [`crate::proof`]) is the evidence the proof obligations
 //! are discharged.
+//!
+//! ## Observation transparency
+//!
+//! The monitors that check P/F/T must themselves be *invisible* in Lo's
+//! observable trace — otherwise the monitored run is evidence about a
+//! different system than the one the NI replay examines. Every check
+//! takes `&System` (read-only by construction), and [`run_monitored`]
+//! additionally *certifies* this: it threads a rolling digest of Lo's
+//! observation log (and a chain of the post-switch core digests)
+//! through the run, so one digest comparison against a plain,
+//! unmonitored replay ([`TransparencyCert`]) proves monitoring cannot
+//! have perturbed the trace. Certified transparency is what lets the
+//! engine reuse the monitored run's Lo trace as the NI baseline and
+//! drop the second replay per (model, secret) cell.
 
 use crate::flush::{canonical_core_digest, check_flush_at_switch};
 use crate::obligation::ObligationResult;
@@ -110,6 +124,90 @@ impl core::fmt::Display for NiVerdict {
     }
 }
 
+// ---------------------------------------------------------------------
+// Observation digests
+// ---------------------------------------------------------------------
+
+/// FNV-1a offset basis — the seed of every rolling digest here.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold one `u64` into an FNV-1a state, byte by byte.
+fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fold one observation event into a rolling digest state. Each arm
+/// starts with a distinct tag byte so e.g. `Clock(3)` and an
+/// `IpcRecv` carrying 3 cannot collide structurally.
+pub fn fold_obs_event(h: u64, e: &ObsEvent) -> u64 {
+    match e {
+        ObsEvent::Clock(c) => fnv1a_u64(fnv1a_u64(h, 1), c.0),
+        ObsEvent::IpcRecv { msg, at } => fnv1a_u64(fnv1a_u64(fnv1a_u64(h, 2), *msg), at.0),
+        ObsEvent::Fault => fnv1a_u64(h, 3),
+        ObsEvent::Halted => fnv1a_u64(h, 4),
+    }
+}
+
+/// Digest of a whole observation trace: the value [`run_monitored`]'s
+/// rolling digest converges to, recomputable from any trace.
+pub fn obs_digest(events: &[ObsEvent]) -> u64 {
+    events.iter().fold(FNV_OFFSET, fold_obs_event)
+}
+
+/// The observation-transparency certificate for one proof cell: the
+/// digest of Lo's trace as seen by the *monitored* run versus the plain,
+/// unmonitored replay of the identical configuration. Equality proves
+/// the monitors did not perturb what Lo observes — the ground on which
+/// the engine reuses monitored traces as NI baselines instead of paying
+/// a second replay per (model, secret).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransparencyCert {
+    /// Rolling digest of Lo's observation log in the monitored run
+    /// (cross-checked against a fresh fold of the final log, so a
+    /// history-rewriting monitor cannot leave it matching the replay).
+    pub monitored_digest: u64,
+    /// Digest of Lo's observation log in the plain replay.
+    pub replay_digest: u64,
+    /// Chain of the post-switch core-local digests of the monitored
+    /// run. Not part of the transparency comparison (the plain replay
+    /// has no switch monitor to chain against); it is a fingerprint of
+    /// the canonical post-flush states that the determinism harness
+    /// pins bit-identical across sequential/scoped/pooled execution
+    /// and wire shards — a divergence here means the engine ran
+    /// different switches than the reference driver.
+    pub switch_digest: u64,
+}
+
+impl TransparencyCert {
+    /// Whether monitoring was provably invisible in Lo's trace.
+    pub fn transparent(&self) -> bool {
+        self.monitored_digest == self.replay_digest
+    }
+}
+
+impl core::fmt::Display for TransparencyCert {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.transparent() {
+            write!(
+                f,
+                "monitoring: observation-transparent (lo digest {:#018x}, switch chain {:#018x})",
+                self.monitored_digest, self.switch_digest
+            )
+        } else {
+            write!(
+                f,
+                "monitoring: NOT transparent (monitored lo digest {:#018x} != replay {:#018x})",
+                self.monitored_digest, self.replay_digest
+            )
+        }
+    }
+}
+
 /// Results of running one system while checking the functional
 /// obligations P/F/T along the way.
 #[derive(Debug)]
@@ -124,37 +222,122 @@ pub struct MonitoredRun {
     pub t: ObligationResult,
     /// Steps executed.
     pub steps: usize,
+    /// Lo's certified observation trace — identical to
+    /// `system.observation(lo).events`, extracted so the engine can use
+    /// it as the NI baseline without touching the system again.
+    pub lo_trace: Vec<ObsEvent>,
+    /// Rolling digest of `lo_trace`, folded event by event as the run
+    /// progressed (equals [`obs_digest`]`(&lo_trace)`).
+    pub lo_digest: u64,
+    /// Rolling chain of post-switch core-local digests.
+    pub switch_digest: u64,
+}
+
+impl MonitoredRun {
+    /// Build the transparency certificate from this run and the digest
+    /// of a plain, unmonitored replay of the same configuration.
+    pub fn certify(&self, replay_digest: u64) -> TransparencyCert {
+        TransparencyCert {
+            monitored_digest: self.lo_digest,
+            replay_digest,
+            switch_digest: self.switch_digest,
+        }
+    }
 }
 
 /// Run `sys` for `budget` cycles (at most `max_steps` steps), checking
 /// P at every switch and every `P_CHECK_INTERVAL` steps, F immediately
-/// after every switch, and T at the end.
-pub fn run_monitored(mut sys: System, budget: Cycles, max_steps: usize) -> MonitoredRun {
+/// after every switch, and T at the end. `lo` is the observer domain
+/// whose trace is certified (rolling digest threaded through the run).
+pub fn run_monitored(sys: System, lo: DomainId, budget: Cycles, max_steps: usize) -> MonitoredRun {
+    run_monitored_with(sys, lo, budget, max_steps, |_| {})
+}
+
+/// [`run_monitored`] with an additional monitor hook invoked at every
+/// domain switch, *before* the standard F/P checks. The standard checks
+/// take `&System` and cannot perturb the run; the hook takes
+/// `&mut System` deliberately — it is the seam where the test suite
+/// injects faults (to force divergence witnesses) and mounts mock
+/// *perturbing* monitors, proving the transparency certification would
+/// reject a monitor that touches what Lo can observe.
+pub fn run_monitored_with(
+    mut sys: System,
+    lo: DomainId,
+    budget: Cycles,
+    max_steps: usize,
+    mut monitor: impl FnMut(&mut System),
+) -> MonitoredRun {
     const P_CHECK_INTERVAL: usize = 2048;
     let canonical = canonical_core_digest(&sys);
     let mut p = ObligationResult::new("P");
     let mut f = ObligationResult::new("F");
     let mut steps = 0;
+    let mut lo_digest = FNV_OFFSET;
+    let mut switch_digest = FNV_OFFSET;
+    let mut folded = 0;
 
     p.merge(check_partition(&sys));
     while sys.now().0 < budget.0 && steps < max_steps {
         let ev = sys.step();
         steps += 1;
         if let StepEvent::Switched { .. } = ev {
+            monitor(&mut sys);
             f.merge(check_flush_at_switch(&sys, canonical));
             p.merge(check_partition(&sys));
+            switch_digest = fnv1a_u64(
+                switch_digest,
+                sys.hw.cores[sys.kernel.core.0].microarch_digest(),
+            );
         } else if steps % P_CHECK_INTERVAL == 0 {
             p.merge(check_partition(&sys));
         }
+        // Thread the rolling Lo digest: fold events appended since the
+        // last step, so the digest exists *during* the run (streaming
+        // consumers need not retain the trace). A hook that truncated
+        // the log is clamped here (and caught by the cross-check below).
+        let events = &sys.observation(lo).events;
+        folded = folded.min(events.len());
+        for e in &events[folded..] {
+            lo_digest = fold_obs_event(lo_digest, e);
+        }
+        folded = events.len();
     }
     let t = check_padding(&sys);
+    let lo_trace = sys.observation(lo).events.clone();
+    // Cross-check the rolling digest against a fresh fold of the final
+    // log. They differ only when a monitor rewrote history (in-place
+    // edit or truncation of already-folded events) — an append-only
+    // perturbation is caught by the rolling digest itself. Mix the two
+    // so certification fails loudly instead of certifying a trace the
+    // rolling digest never saw.
+    let final_digest = obs_digest(&lo_trace);
+    if lo_digest != final_digest {
+        lo_digest = fnv1a_u64(lo_digest, final_digest);
+    }
     MonitoredRun {
         system: sys,
         p,
         f,
         t,
         steps,
+        lo_trace,
+        lo_digest,
+        switch_digest,
     }
+}
+
+/// Run the plain (unmonitored) replay for one configuration and certify
+/// `run` against it: the one-time-per-cell digest comparison that
+/// proves monitoring is observation-transparent.
+pub fn certify_transparency(
+    run: &MonitoredRun,
+    mcfg: &MachineConfig,
+    kcfg: KernelConfig,
+    lo: DomainId,
+    budget: Cycles,
+    max_steps: usize,
+) -> TransparencyCert {
+    run.certify(obs_digest(&lo_trace(mcfg, kcfg, lo, budget, max_steps)))
 }
 
 /// Index of the first difference between two observation logs, if any
@@ -323,13 +506,59 @@ mod tests {
         let sc = scenario(TimeProtConfig::full());
         let kcfg = (sc.make_kcfg)(7);
         let sys = System::new(sc.mcfg.clone(), kcfg).unwrap();
-        let run = run_monitored(sys, Cycles(800_000), 200_000);
+        let run = run_monitored(sys, sc.lo, Cycles(800_000), 200_000);
         assert!(run.p.holds(), "{}", run.p);
         assert!(run.f.holds(), "{}", run.f);
         assert!(run.t.holds(), "{}", run.t);
         assert!(run.p.checked_points > 0);
         assert!(run.f.checked_points > 0);
         assert!(run.t.checked_points > 0);
+        assert_eq!(run.lo_trace, run.system.observation(sc.lo).events);
+        assert_eq!(run.lo_digest, obs_digest(&run.lo_trace));
+    }
+
+    /// The monitored run's rolling digest must equal the plain replay's
+    /// digest — monitoring is observation-transparent — and the
+    /// certificate must say so.
+    #[test]
+    fn monitored_run_is_observation_transparent() {
+        let sc = scenario(TimeProtConfig::full());
+        let kcfg = (sc.make_kcfg)(3);
+        let sys = System::new(sc.mcfg.clone(), kcfg).unwrap();
+        let run = run_monitored(sys, sc.lo, sc.budget, sc.max_steps);
+        let cert = certify_transparency(
+            &run,
+            &sc.mcfg,
+            (sc.make_kcfg)(3),
+            sc.lo,
+            sc.budget,
+            sc.max_steps,
+        );
+        assert!(cert.transparent(), "{cert}");
+        assert_eq!(cert.monitored_digest, run.lo_digest);
+        assert!(cert.to_string().contains("observation-transparent"));
+    }
+
+    #[test]
+    fn obs_digest_distinguishes_structurally_close_traces() {
+        use ObsEvent::*;
+        let base = vec![Clock(Cycles(7)), Fault, Halted];
+        assert_eq!(obs_digest(&base), obs_digest(&base.clone()));
+        for other in [
+            vec![Clock(Cycles(8)), Fault, Halted],
+            vec![Fault, Clock(Cycles(7)), Halted],
+            vec![Clock(Cycles(7)), Fault],
+            vec![
+                IpcRecv {
+                    msg: 7,
+                    at: Cycles(0),
+                },
+                Fault,
+                Halted,
+            ],
+        ] {
+            assert_ne!(obs_digest(&base), obs_digest(&other), "{other:?}");
+        }
     }
 
     #[test]

@@ -17,10 +17,14 @@
 //!    deterministic functions"); §5.1's central claim is that the result
 //!    cannot depend on which one the hardware implements.
 
-use crate::noninterference::{run_monitored, NiScenario, NiVerdict};
+use crate::noninterference::{
+    compare_secret_runs, lo_trace, obs_digest, run_monitored, NiScenario, NiVerdict,
+    TransparencyCert,
+};
 use crate::obligation::ObligationResult;
 use tp_hw::aisa::{check_conformance, ConformanceReport};
 use tp_hw::clock::TimeModel;
+use tp_kernel::domain::ObsEvent;
 use tp_kernel::kernel::System;
 
 /// NI verdict under one time model.
@@ -47,17 +51,24 @@ pub struct ProofReport {
     pub ni: Vec<ModelVerdict>,
     /// Total monitored steps (proof effort metric).
     pub steps: usize,
+    /// Observation-transparency certificate for the monitors (digest of
+    /// the monitored Lo trace vs the plain replay, from the first
+    /// (model, secret) cell). `None` on reports parsed from wire
+    /// records predating the field.
+    pub transparency: Option<TransparencyCert>,
 }
 
 impl ProofReport {
     /// The paper's bottom line: hardware honours the contract (modulo
     /// the out-of-scope interconnect), the functional obligations hold,
-    /// and noninterference holds under every time model tried.
+    /// monitoring is certifiably invisible in Lo's trace, and
+    /// noninterference holds under every time model tried.
     pub fn time_protection_proved(&self) -> bool {
         self.aisa.conformant_modulo_interconnect()
             && self.p.holds()
             && self.f.holds()
             && self.t.holds()
+            && self.transparency.map_or(true, |c| c.transparent())
             && self.ni.iter().all(|m| m.verdict.passed())
     }
 
@@ -104,6 +115,9 @@ impl core::fmt::Display for ProofReport {
         for m in &self.ni {
             writeln!(f, "{}   (time model: {:?})", m.verdict, m.model)?;
         }
+        if let Some(cert) = &self.transparency {
+            writeln!(f, "{cert}")?;
+        }
         writeln!(
             f,
             "CONCLUSION: time protection {} ({} monitored steps)",
@@ -133,9 +147,14 @@ pub fn default_time_models() -> Vec<TimeModel> {
 
 /// Discharge all obligations for `scenario` under `models`.
 ///
-/// For each time model: every secret's system is run under monitoring
-/// (accumulating P/F/T), then NI is checked by replay. The scenario's
-/// own `mcfg.time_model` is overridden by each model in turn.
+/// This is the paranoid double-run reference (the `--replay-check`
+/// semantics): for each (model, secret), the system is run twice — once
+/// under monitoring (accumulating P/F/T and the rolling trace digest)
+/// and once plain (the NI replay baseline). The first pair's digests
+/// form the [`TransparencyCert`]; the certified single-run engine
+/// ([`crate::engine::prove_parallel`]) must produce a bit-identical
+/// report. The scenario's own `mcfg.time_model` is overridden by each
+/// model in turn.
 pub fn prove(scenario: &NiScenario, models: &[TimeModel]) -> ProofReport {
     assert!(!models.is_empty(), "need at least one time model");
     let aisa = check_conformance(&scenario.mcfg);
@@ -145,35 +164,45 @@ pub fn prove(scenario: &NiScenario, models: &[TimeModel]) -> ProofReport {
     let mut t = ObligationResult::new("T");
     let mut ni = Vec::new();
     let mut steps = 0;
+    let mut transparency: Option<TransparencyCert> = None;
 
     for model in models {
         let mut mcfg = scenario.mcfg.clone();
         mcfg.time_model = *model;
 
-        // Monitored runs per secret (P/F/T evidence).
+        let mut runs: Vec<(u64, Vec<ObsEvent>)> = Vec::with_capacity(scenario.secrets.len());
         for &s in &scenario.secrets {
+            // Monitored run (P/F/T evidence + certified trace digest).
             let kcfg = (scenario.make_kcfg)(s);
             let sys = System::new(mcfg.clone(), kcfg)
                 .expect("scenario construction must succeed for every secret");
-            let run = run_monitored(sys, scenario.budget, scenario.max_steps);
+            let run = run_monitored(sys, scenario.lo, scenario.budget, scenario.max_steps);
+            let (lo_digest, switch_digest) = (run.lo_digest, run.switch_digest);
             p.merge(run.p);
             f.merge(run.f);
             t.merge(run.t);
             steps += run.steps;
-        }
 
-        // NI by replay under this model.
-        let verdict = crate::noninterference::check_ni_parts(
-            &mcfg,
-            &*scenario.make_kcfg,
-            scenario.lo,
-            &scenario.secrets,
-            scenario.budget,
-            scenario.max_steps,
-        );
+            // Plain replay: the NI baseline of the paranoid mode.
+            let trace = lo_trace(
+                &mcfg,
+                (scenario.make_kcfg)(s),
+                scenario.lo,
+                scenario.budget,
+                scenario.max_steps,
+            );
+            if transparency.is_none() {
+                transparency = Some(TransparencyCert {
+                    monitored_digest: lo_digest,
+                    replay_digest: obs_digest(&trace),
+                    switch_digest,
+                });
+            }
+            runs.push((s, trace));
+        }
         ni.push(ModelVerdict {
             model: *model,
-            verdict,
+            verdict: compare_secret_runs(&runs),
         });
     }
 
@@ -184,6 +213,7 @@ pub fn prove(scenario: &NiScenario, models: &[TimeModel]) -> ProofReport {
         t,
         ni,
         steps,
+        transparency,
     }
 }
 
@@ -245,6 +275,24 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("PROVED"));
         assert!(text.contains("interconnect excluded"));
+        let cert = report.transparency.expect("prove must certify monitoring");
+        assert!(cert.transparent(), "{cert}");
+        assert!(text.contains("observation-transparent"), "{text}");
+    }
+
+    /// A non-transparent certificate must sink the proof — reusing a
+    /// perturbed monitored trace as NI evidence would be unsound.
+    #[test]
+    fn perturbed_transparency_fails_the_proof() {
+        let mut report = prove(
+            &scenario(TimeProtConfig::full()),
+            &[tp_hw::clock::TimeModel::intel_like()],
+        );
+        assert!(report.time_protection_proved());
+        let cert = report.transparency.as_mut().unwrap();
+        cert.replay_digest = cert.monitored_digest.wrapping_add(1);
+        assert!(!report.time_protection_proved());
+        assert!(report.to_string().contains("NOT transparent"));
     }
 
     #[test]

@@ -32,7 +32,7 @@ use tp_hw::types::Cycles;
 use tp_kernel::config::{Mechanism, TimeProtConfig};
 use tp_kernel::domain::ObsEvent;
 
-use crate::noninterference::NiVerdict;
+use crate::noninterference::{NiVerdict, TransparencyCert};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -481,6 +481,14 @@ pub fn write_cell(out: &mut String, index: usize, cell: &MatrixCell, report: &Pr
         .expect("writing to a String cannot fail");
     }
     writeln!(out, "steps i={index} n={}", report.steps).expect("writing to a String cannot fail");
+    if let Some(cert) = &report.transparency {
+        writeln!(
+            out,
+            "cert i={index} monitored={} replay={} switch={}",
+            cert.monitored_digest, cert.replay_digest, cert.switch_digest
+        )
+        .expect("writing to a String cannot fail");
+    }
     writeln!(out, "end i={index}").expect("writing to a String cannot fail");
 }
 
@@ -507,6 +515,9 @@ struct CellBuilder {
     obligations: Vec<ObligationResult>,
     ni: Vec<ModelVerdict>,
     steps: Option<usize>,
+    /// Optional for cross-version compatibility: reports serialised
+    /// before transparency certification existed parse to `None`.
+    cert: Option<TransparencyCert>,
 }
 
 /// Split a record line into its tag and key=value fields.
@@ -648,6 +659,16 @@ pub fn parse_cells(text: &str) -> Result<Vec<(usize, MatrixCell, ProofReport)>, 
             "steps" => {
                 b.steps = Some(dec_usize(want(&map, "n").map_err(parse_err)?).map_err(parse_err)?);
             }
+            "cert" => {
+                b.cert = Some(TransparencyCert {
+                    monitored_digest: dec_u64(want(&map, "monitored").map_err(parse_err)?)
+                        .map_err(parse_err)?,
+                    replay_digest: dec_u64(want(&map, "replay").map_err(parse_err)?)
+                        .map_err(parse_err)?,
+                    switch_digest: dec_u64(want(&map, "switch").map_err(parse_err)?)
+                        .map_err(parse_err)?,
+                });
+            }
             "end" => {
                 let b = building.remove(&index).expect("builder just touched");
                 done.push(finish_cell(index, b)?);
@@ -710,6 +731,7 @@ fn finish_cell(
         t: t.ok_or_else(|| missing("no T obligation"))?,
         ni: b.ni,
         steps: b.steps.ok_or_else(|| missing("no steps record"))?,
+        transparency: b.cert,
     };
     if report.ni.is_empty() {
         return Err(missing("no ni records"));
@@ -791,6 +813,7 @@ mod tests {
                 t: ObligationResult::new("T"),
                 ni: vec![],
                 steps: 0,
+                transparency: None,
             };
             (i, cell, report)
         };

@@ -1,20 +1,29 @@
 //! Determinism harness for the parallel proof engine: sharding the
 //! (time-model × secret) product or the Hi-program enumeration across
 //! worker threads must not change a single bit of the result — on
-//! **either** execution path. Each scenario is checked three ways:
+//! **either** execution path, in **either** [`ProofMode`]. Each
+//! scenario is checked several ways:
 //!
-//! * sequential (`prove` / `check_exhaustive`) — the reference;
-//! * scoped spawn-per-call pools (`*_scoped`) — the legacy engine path;
-//! * persistent `tp-sched` pools (`*_on`) — the production path,
-//!   exercised at 1, 2 and 8 workers.
+//! * sequential (`prove` / `check_exhaustive`) — the reference, and
+//!   since the transparency work also the paranoid *double-run*: one
+//!   monitored run plus one plain replay per (model, secret);
+//! * scoped spawn-per-call pools (`*_scoped`) — the legacy engine path,
+//!   now certified single-run;
+//! * persistent `tp-sched` pools (`*_on`) — the production certified
+//!   single-run path, exercised at 1, 2 and 8 workers;
+//! * [`ProofMode::ReplayCheck`] on the pool — the `--replay-check`
+//!   audit path that re-enables the double-run.
 //!
-//! Checked across 3 scenario seeds, bit for bit: same verdicts, same
-//! violation order (hence first witness), same check points, same step
-//! counts — and therefore the same rendered reports.
+//! Pinning the certified single-run reports equal to the sequential
+//! double-run reports is the engine's licence to drop the second replay
+//! per cell. Checked across 3 scenario seeds, bit for bit: same
+//! verdicts, same violation order (hence first witness), same check
+//! points, same step counts, same transparency certificate — and
+//! therefore the same rendered reports.
 
 use tp_core::engine::{
-    check_exhaustive_parallel_on, check_exhaustive_parallel_scoped, prove_parallel_on,
-    prove_parallel_scoped,
+    check_exhaustive_parallel_on, check_exhaustive_parallel_scoped, prove_parallel_mode,
+    prove_parallel_on, prove_parallel_scoped, ProofMode, ScenarioMatrix,
 };
 use tp_core::exhaustive::{check_exhaustive, ExhaustiveConfig};
 use tp_core::noninterference::NiScenario;
@@ -76,6 +85,10 @@ fn assert_reports_identical(reference: &ProofReport, other: &ProofReport, label:
     assert_eq!(reference.f, other.f, "{label}: F");
     assert_eq!(reference.t, other.t, "{label}: T");
     assert_eq!(reference.steps, other.steps, "{label}: steps");
+    assert_eq!(
+        reference.transparency, other.transparency,
+        "{label}: transparency certificate"
+    );
     assert_eq!(reference.ni.len(), other.ni.len(), "{label}: model count");
     for (s, p) in reference.ni.iter().zip(other.ni.iter()) {
         assert_eq!(s.model, p.model, "{label}");
@@ -124,9 +137,66 @@ fn prove_is_bit_identical_across_all_execution_paths() {
                     &pooled,
                     &format!("seed {seed} pool×{workers}"),
                 );
+                // The --replay-check audit path (paranoid double-run on
+                // the pool) must agree bit for bit too.
+                let audited = prove_parallel_mode(
+                    &pool,
+                    &seeded_scenario(seed, tp),
+                    &models,
+                    ProofMode::ReplayCheck,
+                );
+                assert_reports_identical(
+                    &sequential,
+                    &audited,
+                    &format!("seed {seed} replay-check×{workers}"),
+                );
             }
         }
     }
+}
+
+/// The certified-vs-audited pin at the matrix level: a sweep run in
+/// certified single-run mode must produce the identical
+/// [`tp_core::MatrixReport`] (cells, verdicts, certificates, rendered
+/// text) as the same sweep with `--replay-check`'s double-run — on
+/// pooled, scoped and 1/2/8-worker execution alike.
+#[test]
+fn certified_and_replay_check_sweeps_are_bit_identical() {
+    let models = default_time_models()[..2].to_vec();
+    let matrix = |replay_check: bool| {
+        ScenarioMatrix::new("det", MachineConfig::single_core())
+            .with_ablations(vec![None, Some(Mechanism::Padding)])
+            .with_models(models.clone())
+            .with_replay_check(replay_check)
+    };
+    let scenario = || seeded_scenario(2, TimeProtConfig::full());
+
+    let reference = matrix(true).run_scoped(2, |_| scenario());
+    for workers in POOL_SIZES {
+        let pool = WorkerPool::new(workers);
+        let certified = matrix(false).run_on(&pool, |_| scenario());
+        let audited = matrix(true).run_on(&pool, |_| scenario());
+        assert_eq!(
+            certified, audited,
+            "certified and replay-check sweeps must agree (pool×{workers})"
+        );
+        assert_eq!(
+            certified, reference,
+            "pooled certified sweep must equal the scoped double-run (pool×{workers})"
+        );
+        assert_eq!(certified.to_string(), reference.to_string());
+        for (cell, report) in &certified.cells {
+            let cert = report
+                .transparency
+                .expect("every proved cell carries a certificate");
+            assert!(cert.transparent(), "{}: {cert}", cell.label());
+        }
+    }
+    let scoped_certified = matrix(false).run_scoped(3, |_| scenario());
+    assert_eq!(
+        scoped_certified, reference,
+        "scoped certified vs double-run"
+    );
 }
 
 /// The sharded enumeration returns the sequential first witness: the

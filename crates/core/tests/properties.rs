@@ -79,6 +79,7 @@ proptest! {
         let kcfg = (sc.make_kcfg)(6);
         let run = run_monitored(
             tp_kernel::kernel::System::new(sc.mcfg.clone(), kcfg).unwrap(),
+            sc.lo,
             Cycles(400_000),
             200_000,
         );

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 
 use tp_core::engine::{MatrixCell, MatrixReport};
-use tp_core::noninterference::NiVerdict;
+use tp_core::noninterference::{NiVerdict, TransparencyCert};
 use tp_core::obligation::{ObligationResult, Violation, ViolationKind};
 use tp_core::proof::{ModelVerdict, ProofReport};
 use tp_core::wire;
@@ -154,6 +154,22 @@ fn synth_cell(seed: u64) -> (MatrixCell, ProofReport) {
         })
         .collect();
 
+    // Cover every transparency shape: absent (old reports), a
+    // transparent cert, and a perturbed (non-transparent) one.
+    let transparency = match pick(3, 13) {
+        0 => None,
+        1 => Some(TransparencyCert {
+            monitored_digest: seed ^ 0x5555,
+            replay_digest: seed ^ 0x5555,
+            switch_digest: seed.rotate_left(17),
+        }),
+        _ => Some(TransparencyCert {
+            monitored_digest: seed ^ 0x5555,
+            replay_digest: seed ^ 0xaaaa,
+            switch_digest: seed.rotate_left(29),
+        }),
+    };
+
     let report = ProofReport {
         // The format recomputes conformance from the machine config, so
         // a representable report carries exactly this value.
@@ -163,6 +179,7 @@ fn synth_cell(seed: u64) -> (MatrixCell, ProofReport) {
         t: obligation("T", 0x3333),
         ni,
         steps: (seed % 10_000_000) as usize,
+        transparency,
     };
     (cell, report)
 }
@@ -213,4 +230,92 @@ proptest! {
         prop_assert_eq!(&merged, &reference);
         prop_assert_eq!(merged.to_string(), reference.to_string());
     }
+}
+
+/// Strip the `cert` record from a serialised cell — the shape every
+/// report had before transparency certification existed.
+fn strip_cert_lines(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.trim_start().starts_with("cert "))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Cross-version: a report serialised before the transparency-digest
+/// field existed (no `cert` record) must still parse — with
+/// `transparency: None` — and merge cleanly.
+#[test]
+fn old_reports_without_the_cert_record_still_parse() {
+    let (cell, mut report) = synth_cell(0xfeed_f00d);
+    report.transparency = Some(TransparencyCert {
+        monitored_digest: 1,
+        replay_digest: 1,
+        switch_digest: 2,
+    });
+    let mut text = String::new();
+    wire::write_cell(&mut text, 0, &cell, &report);
+    assert!(text.contains("\ncert i=0 "), "new format carries the cert");
+
+    let old = strip_cert_lines(&text);
+    let parsed = wire::parse_cells(&old).expect("old-format cell must parse");
+    assert_eq!(parsed.len(), 1);
+    let (_, cell2, report2) = &parsed[0];
+    assert_eq!(cell2, &cell);
+    assert_eq!(report2.transparency, None, "missing cert parses to None");
+    // Everything except the certificate survives.
+    let mut expect = report.clone();
+    expect.transparency = None;
+    assert_eq!(report2, &expect);
+    assert_eq!(wire::merge_cells(parsed).unwrap().cells.len(), 1);
+}
+
+/// Hostile cert records: missing fields and malformed digests must be
+/// parse errors naming the line, never a silent default.
+#[test]
+fn hostile_cert_records_are_rejected() {
+    let (cell, mut report) = synth_cell(0xdead_cafe);
+    report.transparency = Some(TransparencyCert {
+        monitored_digest: 7,
+        replay_digest: 7,
+        switch_digest: 9,
+    });
+    let mut text = String::new();
+    wire::write_cell(&mut text, 0, &cell, &report);
+    let good = text
+        .lines()
+        .find(|l| l.starts_with("cert "))
+        .expect("cert record present");
+
+    for bad in [
+        "cert i=0 monitored=7 replay=7".to_string(), // missing switch
+        "cert i=0 replay=7 switch=9".to_string(),    // missing monitored
+        "cert i=0 monitored=xyz replay=7 switch=9".to_string(), // bad integer
+        "cert i=0 monitored=-1 replay=7 switch=9".to_string(), // negative
+        "cert monitored=7 replay=7 switch=9".to_string(), // no index
+    ] {
+        let hostile = text.replace(good, &bad);
+        assert!(
+            matches!(
+                wire::parse_cells(&hostile),
+                Err(wire::WireError::Parse { .. })
+            ),
+            "hostile cert record must fail parsing: {bad:?}"
+        );
+    }
+
+    // A duplicate cert record is last-wins (same rule as every other
+    // single-valued record), not an error.
+    let doubled = text.replace(
+        good,
+        &format!("{good}\ncert i=0 monitored=1 replay=2 switch=3"),
+    );
+    let parsed = wire::parse_cells(&doubled).expect("duplicate cert records parse");
+    assert_eq!(
+        parsed[0].2.transparency,
+        Some(TransparencyCert {
+            monitored_digest: 1,
+            replay_digest: 2,
+            switch_digest: 3,
+        })
+    );
 }
