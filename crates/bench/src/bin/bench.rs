@@ -1,0 +1,163 @@
+//! Criterion-free wall-clock benchmark of the proof hot path, feeding
+//! the `BENCH_*.json` trajectory.
+//!
+//! Two workloads, timed with plain [`std::time::Instant`] best-of-N:
+//!
+//! * the **E11 ablation sweep** (the canonical machine × every
+//!   single-mechanism ablation) proved in digest-first certified mode —
+//!   and once more in forced-recording mode, so the file records the
+//!   digest-first dividend alongside the absolute numbers;
+//! * one **exhaustive enumeration** (every Hi program up to the length
+//!   bound on the tiny machine), the workload the trace-free
+//!   `ExhaustiveRunner` template exists for.
+//!
+//! ```sh
+//! bench [--smoke] [--threads N] [--out FILE]
+//! ```
+//!
+//! `--smoke` shrinks both workloads to CI size (seconds, not minutes)
+//! — the numbers still land in the JSON, flagged `"smoke": true`.
+//! Output goes to `BENCH_matrix.json` (or `--out`): one self-contained
+//! JSON object per run, `cells_per_sec` / `ns_per_step` /
+//! `programs_per_sec` being the fields the trajectory tracks.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use tp_bench::{canonical_machine, canonical_scenario, time_iters};
+use tp_core::engine::{check_exhaustive_parallel_on, ProofMode, ScenarioMatrix};
+use tp_core::exhaustive::{space_size, ExhaustiveConfig};
+use tp_core::{default_time_models, MatrixReport};
+use tp_kernel::config::TimeProtConfig;
+
+struct Args {
+    smoke: bool,
+    threads: Option<usize>,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        threads: None,
+        out: "BENCH_matrix.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --threads {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The benched E11 sweep: canonical machine, all ablations, the first
+/// `models` default time models.
+fn e11_matrix(models: usize, mode: ProofMode) -> ScenarioMatrix {
+    ScenarioMatrix::new("canonical", canonical_machine())
+        .sweep_ablations()
+        .with_models(default_time_models()[..models].to_vec())
+        .with_mode(mode)
+}
+
+fn run_e11(models: usize, mode: ProofMode) -> MatrixReport {
+    e11_matrix(models, mode).run(|cell| canonical_scenario(cell.disable))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            eprintln!("usage: bench [--smoke] [--threads N] [--out FILE]");
+            std::process::exit(2);
+        }
+    };
+    if let Some(n) = args.threads {
+        tp_sched::configure_global_threads(n);
+    }
+    let threads = tp_sched::global().threads();
+    let (iters, models, exh_len) = if args.smoke { (1, 1, 2) } else { (3, 2, 3) };
+
+    // --- E11 sweep, digest-first certified (the default hot path). ---
+    let report = run_e11(models, ProofMode::Certified);
+    let cells = report.cells.len();
+    let monitored_steps: usize = report.cells.iter().map(|(_, r)| r.steps).sum();
+    let (_, t_digest) = time_iters(iters, || run_e11(models, ProofMode::Certified));
+    eprintln!(
+        "e11 sweep (digest-first): {cells} cells x {models} models in {t_digest:?} \
+         ({monitored_steps} monitored steps, {threads} threads)"
+    );
+
+    // --- The same sweep, forced recording (the comparison baseline). ---
+    let (_, t_recording) = time_iters(iters, || run_e11(models, ProofMode::CertifiedRecording));
+    eprintln!("e11 sweep (recording):    {cells} cells x {models} models in {t_recording:?}");
+
+    // --- Exhaustive enumeration, digest-first. ---
+    let exh_cfg = ExhaustiveConfig {
+        max_len: exh_len,
+        ..ExhaustiveConfig::small(TimeProtConfig::full())
+    };
+    let programs = space_size(exh_cfg.alphabet.len(), exh_cfg.max_len) + 1;
+    let (_, t_exh) = time_iters(iters, || {
+        check_exhaustive_parallel_on(tp_sched::global(), &exh_cfg)
+    });
+    eprintln!("exhaustive: {programs} Hi programs (len <= {exh_len}) in {t_exh:?}");
+
+    let secs = |d: Duration| d.as_secs_f64().max(1e-9);
+    let cells_per_sec = cells as f64 / secs(t_digest);
+    let ns_per_step = secs(t_digest) * 1e9 / monitored_steps.max(1) as f64;
+    let programs_per_sec = programs as f64 / secs(t_exh);
+    let digest_over_recording = secs(t_digest) / secs(t_recording);
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"schema\": \"tp-bench/matrix-v1\",").unwrap();
+    writeln!(json, "  \"smoke\": {},", args.smoke).unwrap();
+    writeln!(json, "  \"threads\": {threads},").unwrap();
+    writeln!(json, "  \"e11\": {{").unwrap();
+    writeln!(json, "    \"cells\": {cells},").unwrap();
+    writeln!(json, "    \"models\": {models},").unwrap();
+    writeln!(json, "    \"monitored_steps\": {monitored_steps},").unwrap();
+    writeln!(json, "    \"seconds\": {:.6},", secs(t_digest)).unwrap();
+    writeln!(json, "    \"cells_per_sec\": {cells_per_sec:.3},").unwrap();
+    writeln!(json, "    \"ns_per_step\": {ns_per_step:.3},").unwrap();
+    writeln!(json, "    \"recording_seconds\": {:.6},", secs(t_recording)).unwrap();
+    writeln!(
+        json,
+        "    \"digest_over_recording\": {digest_over_recording:.4}"
+    )
+    .unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"exhaustive\": {{").unwrap();
+    writeln!(json, "    \"max_len\": {exh_len},").unwrap();
+    writeln!(json, "    \"programs\": {programs},").unwrap();
+    writeln!(json, "    \"seconds\": {:.6},", secs(t_exh)).unwrap();
+    writeln!(json, "    \"programs_per_sec\": {programs_per_sec:.3}").unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("bench: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out);
+    print!("{json}");
+
+    // A bench that measured a broken engine would poison the
+    // trajectory: fail loudly if the sweep stopped proving.
+    if !report.full_protection_proved() {
+        eprintln!("bench: full-protection cells no longer prove — numbers discarded");
+        std::process::exit(1);
+    }
+}

@@ -17,12 +17,13 @@ fn monitored_lo_trace(disable: Option<Mechanism>, secret: u64) -> Vec<ObsEvent> 
     let sc = canonical_scenario(disable);
     let sys = System::new(sc.mcfg.clone(), (sc.make_kcfg)(secret)).expect("canonical system");
     let run = run_monitored(sys, sc.lo, sc.budget, sc.max_steps);
+    let trace = run.lo_trace.expect("recording run keeps a trace");
     assert_eq!(
-        run.lo_trace,
+        trace,
         run.system.observation(sc.lo).events,
         "certified trace must be the system's own log"
     );
-    run.lo_trace
+    trace
 }
 
 #[test]

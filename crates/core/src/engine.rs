@@ -10,13 +10,16 @@
 //! pool while keeping results **bit-identical** to the sequential
 //! checkers:
 //!
-//! * [`prove_parallel`] — shards one *certified* monitored run per
-//!   (model, secret) (the run's Lo trace doubles as the NI baseline,
-//!   with a single plain replay certifying observation transparency —
-//!   [`ProofMode`]), then merges P/F/T evidence and verdicts in the
-//!   exact lexicographic order the sequential `prove` accumulates in.
+//! * [`prove_parallel`] — shards one *certified, trace-free* monitored
+//!   run per (model, secret) (the run's rolling Lo fingerprint doubles
+//!   as the NI baseline, with a single digest-only plain replay
+//!   certifying observation transparency — [`ProofMode`]), then merges
+//!   P/F/T evidence and verdicts in the exact lexicographic order the
+//!   sequential `prove` accumulates in, re-running only fingerprint-
+//!   diverging pairs with recording sinks for their witnesses.
 //! * [`check_exhaustive_parallel`] — shards the program enumeration by
-//!   index blocks; a leak verdict is the *lowest-index* witness, which
+//!   index blocks, each Hi-word digest-only against the cached baseline
+//!   fingerprint; a leak verdict is the *lowest-index* witness, which
 //!   is precisely the sequential first-witness.
 //! * [`ScenarioMatrix`] — builds the cross product of machine
 //!   configurations (cache geometry, core counts), mechanism ablations
@@ -33,15 +36,17 @@
 //! per call (the pre-`tp-sched` behaviour, kept as a comparison
 //! baseline for the determinism and performance harnesses).
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::exhaustive::{
-    space_size, word_for_index, ExhaustiveConfig, ExhaustiveRunner, ExhaustiveVerdict,
+    recorded_leak, space_size, word_for_index, ExhaustiveConfig, ExhaustiveMode, ExhaustiveRunner,
+    ExhaustiveVerdict,
 };
 use crate::noninterference::{
-    compare_secret_runs, first_divergence, lo_trace, obs_digest, run_monitored, NiScenario,
-    NiVerdict, TransparencyCert,
+    compare_secret_digests, compare_secret_runs, first_divergence, lo_digest_len, lo_trace,
+    lockstep_divergence, run_monitored, MonitoredRun, NiScenario, NiVerdict, TransparencyCert,
 };
 use crate::obligation::ObligationResult;
 use crate::proof::{ModelVerdict, ProofReport};
@@ -54,7 +59,7 @@ use tp_kernel::config::{KernelConfig, Mechanism, TimeProtConfig};
 use tp_kernel::domain::{DomainId, ObsEvent};
 use tp_kernel::kernel::System;
 use tp_kernel::program::Instr;
-use tp_sched::WorkerPool;
+use tp_sched::{OrderedResults, WorkerPool};
 
 pub use tp_sched::available_threads;
 
@@ -62,6 +67,9 @@ pub use tp_sched::available_threads;
 /// returning results in item order. Workers claim items through an
 /// atomic cursor, so scheduling is dynamic but the output is
 /// position-stable — the foundation of the engine's determinism.
+/// Results flow back through the same ordered-results channel the
+/// persistent pool streams over ([`tp_sched::OrderedResults`]), so the
+/// engine has exactly one result-collection path.
 ///
 /// This is the legacy spawn-per-call primitive; the default drivers now
 /// run on the persistent [`tp_sched::global`] pool and only the
@@ -79,43 +87,51 @@ where
         return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let (tx, rx) = std::sync::mpsc::channel();
     std::thread::scope(|s| {
+        let (next, f) = (&next, &f);
         for _ in 0..threads {
-            s.spawn(|| loop {
+            let tx = tx.clone();
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let r = f(i, &items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, &items[i])));
+                // A send failure means the consumer already panicked
+                // (and dropped the stream); nothing left to deliver to.
+                let _ = tx.send((i, r));
             });
         }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every slot")
-        })
-        .collect()
+        drop(tx);
+        OrderedResults::from_channel(rx, items.len()).collect()
+    })
 }
 
 // ---------------------------------------------------------------------
 // Proof sharding
 // ---------------------------------------------------------------------
 
-/// How the engine obtains the NI baseline traces for a proof.
+/// How the engine obtains the NI baseline evidence for a proof.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProofMode {
-    /// Certified single-run mode (the default): one monitored run per
-    /// (model, secret) provides *both* the P/F/T evidence and the NI
-    /// baseline trace, plus a single plain replay of the first pair
-    /// whose digest certifies that monitoring is observation-
-    /// transparent ([`TransparencyCert`]). Roughly halves engine work.
+    /// Digest-first certified single-run mode (the default): one
+    /// *trace-free* monitored run per (model, secret) provides the
+    /// P/F/T evidence and a rolling `(len, digest)` fingerprint of Lo's
+    /// observations — the NI baseline — plus a single digest-only plain
+    /// replay of the first pair whose digest certifies that monitoring
+    /// is observation-transparent ([`TransparencyCert`]). No run on the
+    /// hot path allocates per-event storage; only a fingerprint
+    /// mismatch triggers a recording re-run of the offending pair to
+    /// extract the replayable witness.
     #[default]
     Certified,
+    /// Certified single-run mode with every monitored run fully
+    /// recorded and Lo traces compared event by event — the
+    /// pre-digest-first engine behaviour, kept as the equivalence
+    /// oracle and the perf-pin baseline. Reports are bit-identical to
+    /// [`ProofMode::Certified`].
+    CertifiedRecording,
     /// The paranoid audit mode (`--replay-check`): every (model,
     /// secret) pair runs twice — monitored for P/F/T, plain for the NI
     /// baseline — exactly like the sequential [`crate::proof::prove`].
@@ -125,18 +141,67 @@ pub enum ProofMode {
     ReplayCheck,
 }
 
+impl ProofMode {
+    /// Whether monitored runs execute trace-free (digest sinks).
+    fn digest_first(self) -> bool {
+        matches!(self, ProofMode::Certified)
+    }
+}
+
 /// Owned inputs for one (model, secret) proof shard. Materialised on
 /// the submitting thread so the task itself is `'static` and can run on
-/// the persistent pool.
+/// the persistent pool. The configurations are `Arc`-shared — the
+/// machine across a model's secrets, the kernel configuration across a
+/// secret's models — so fanning a sweep into thousands of tasks clones
+/// pointers, not page tables and programs.
 #[derive(Clone)]
 struct ProofTask {
     /// Machine with the shard's time model applied.
-    mcfg: MachineConfig,
+    mcfg: Arc<MachineConfig>,
     /// Kernel configuration for this (model, secret) pair.
-    kcfg: KernelConfig,
+    kcfg: Arc<KernelConfig>,
     lo: DomainId,
     budget: Cycles,
     max_steps: usize,
+}
+
+impl ProofTask {
+    /// The monitored run for this shard, trace-free or recording.
+    fn monitored(&self, digest_first: bool) -> MonitoredRun {
+        let mut sys = System::from_parts(&self.mcfg, &self.kcfg)
+            .expect("scenario construction must succeed for every secret");
+        if digest_first {
+            sys.use_digest_sinks();
+        }
+        run_monitored(sys, self.lo, self.budget, self.max_steps)
+    }
+
+    /// A fresh recording system for this shard's configuration.
+    fn build(&self) -> System {
+        System::from_parts(&self.mcfg, &self.kcfg)
+            .expect("scenario construction must succeed for every secret")
+    }
+
+    /// Lockstep witness extraction against another shard of the same
+    /// model: both systems run (recording) only up to the first
+    /// diverging Lo event.
+    fn lockstep_leak(&self, other: &ProofTask, secret_a: u64, secret_b: u64) -> NiVerdict {
+        let (divergence, event_a, event_b) = lockstep_divergence(
+            self.build(),
+            other.build(),
+            self.lo,
+            self.budget,
+            self.max_steps,
+        )
+        .expect("a fingerprint mismatch implies a trace divergence");
+        NiVerdict::Leak {
+            secret_a,
+            secret_b,
+            divergence,
+            event_a,
+            event_b,
+        }
+    }
 }
 
 /// One unit of engine work: a monitored proof shard, or the single
@@ -157,11 +222,15 @@ struct ProofShard {
     f: ObligationResult,
     t: ObligationResult,
     steps: usize,
+    /// Number of events in Lo's observation log.
+    lo_len: usize,
     /// The NI baseline trace: the certified monitored trace
-    /// ([`ProofMode::Certified`]) or the plain replay trace
-    /// ([`ProofMode::ReplayCheck`]).
-    trace: Vec<ObsEvent>,
-    /// Rolling digest of the monitored run's Lo trace.
+    /// ([`ProofMode::CertifiedRecording`]) or the plain replay trace
+    /// ([`ProofMode::ReplayCheck`]). `None` on the digest-first hot
+    /// path, where `(lo_len, monitored_digest)` is the baseline.
+    trace: Option<Vec<ObsEvent>>,
+    /// Rolling digest of the monitored run's Lo trace, straight from
+    /// the observation sink.
     monitored_digest: u64,
     /// Rolling chain of post-switch core digests.
     switch_digest: u64,
@@ -175,19 +244,38 @@ enum TaskOutput {
     Cert(u64),
 }
 
+/// One proof's flattened shard list: the engine tasks in submission
+/// order, plus the bare (model, secret) run inputs the merge keeps for
+/// divergence re-runs (pointer-cheap — the configs are `Arc`-shared
+/// with the tasks).
+struct ProofBatch {
+    tasks: Vec<EngineTask>,
+    /// One entry per (model, secret), model-major — the order the merge
+    /// consumes shards in.
+    runs: Vec<ProofTask>,
+}
+
 /// Flatten `scenario` × `models` into owned engine tasks, in the
 /// (model, secret) lexicographic order the merge consumes them in. In
-/// certified mode the certification replay leads the list so it
-/// overlaps the monitored runs on the pool.
-fn proof_tasks(scenario: &NiScenario, models: &[TimeModel], mode: ProofMode) -> Vec<EngineTask> {
+/// certified modes the certification replay leads the list so it
+/// overlaps the monitored runs on the pool. Kernel configurations are
+/// built once per secret and `Arc`-shared across models; machines once
+/// per model, shared across secrets.
+fn proof_tasks(scenario: &NiScenario, models: &[TimeModel], mode: ProofMode) -> ProofBatch {
+    let kcfgs: Vec<Arc<KernelConfig>> = scenario
+        .secrets
+        .iter()
+        .map(|&s| Arc::new((scenario.make_kcfg)(s)))
+        .collect();
     let mut runs = Vec::with_capacity(models.len() * scenario.secrets.len());
     for model in models {
         let mut mcfg = scenario.mcfg.clone();
         mcfg.time_model = *model;
-        for &s in &scenario.secrets {
+        let mcfg = Arc::new(mcfg);
+        for kcfg in &kcfgs {
             runs.push(ProofTask {
-                mcfg: mcfg.clone(),
-                kcfg: (scenario.make_kcfg)(s),
+                mcfg: Arc::clone(&mcfg),
+                kcfg: Arc::clone(kcfg),
                 lo: scenario.lo,
                 budget: scenario.budget,
                 max_steps: scenario.max_steps,
@@ -195,37 +283,34 @@ fn proof_tasks(scenario: &NiScenario, models: &[TimeModel], mode: ProofMode) -> 
         }
     }
     let mut tasks = Vec::with_capacity(runs.len() + 1);
-    if mode == ProofMode::Certified {
+    if mode != ProofMode::ReplayCheck {
         tasks.push(EngineTask::CertReplay(runs[0].clone()));
     }
-    tasks.extend(runs.into_iter().map(EngineTask::Run));
-    tasks
+    tasks.extend(runs.iter().cloned().map(EngineTask::Run));
+    ProofBatch { tasks, runs }
 }
 
-/// Execute one engine task. A [`EngineTask::Run`] in certified mode is
-/// the single monitored run whose trace doubles as the NI baseline; in
-/// replay-check mode it is exactly the two runs the sequential driver
-/// performs — one monitored (P/F/T evidence) and one plain replay (the
-/// NI trace).
+/// Execute one engine task. A [`EngineTask::Run`] in a certified mode
+/// is the single monitored run whose Lo fingerprint (digest-first) or
+/// trace (recording) doubles as the NI baseline; in replay-check mode
+/// it is exactly the two runs the sequential driver performs — one
+/// monitored (P/F/T evidence) and one plain replay (the NI trace).
 fn run_engine_task(task: EngineTask, mode: ProofMode) -> TaskOutput {
     match task {
-        EngineTask::CertReplay(t) => TaskOutput::Cert(obs_digest(&lo_trace(
-            &t.mcfg,
-            t.kcfg,
-            t.lo,
-            t.budget,
-            t.max_steps,
-        ))),
+        // The certification replay never needs a trace: its digest
+        // comes straight from the replay system's sink.
+        EngineTask::CertReplay(t) => {
+            TaskOutput::Cert(lo_digest_len(&t.mcfg, &t.kcfg, t.lo, t.budget, t.max_steps).1)
+        }
         EngineTask::Run(t) => {
-            let sys = System::new(t.mcfg.clone(), t.kcfg.clone())
-                .expect("scenario construction must succeed for every secret");
-            let run = run_monitored(sys, t.lo, t.budget, t.max_steps);
+            let run = t.monitored(mode.digest_first());
             let (trace, replay_digest) = match mode {
-                ProofMode::Certified => (run.lo_trace, None),
+                ProofMode::Certified => (None, None),
+                ProofMode::CertifiedRecording => (run.lo_trace, None),
                 ProofMode::ReplayCheck => {
-                    let replay = lo_trace(&t.mcfg, t.kcfg, t.lo, t.budget, t.max_steps);
-                    let digest = obs_digest(&replay);
-                    (replay, Some(digest))
+                    let replay = lo_trace(&t.mcfg, &t.kcfg, t.lo, t.budget, t.max_steps);
+                    let digest = crate::noninterference::obs_digest(&replay);
+                    (Some(replay), Some(digest))
                 }
             };
             TaskOutput::Run(Box::new(ProofShard {
@@ -233,6 +318,7 @@ fn run_engine_task(task: EngineTask, mode: ProofMode) -> TaskOutput {
                 f: run.f,
                 t: run.t,
                 steps: run.steps,
+                lo_len: run.lo_len,
                 trace,
                 monitored_digest: run.lo_digest,
                 switch_digest: run.switch_digest,
@@ -246,7 +332,7 @@ fn run_engine_task(task: EngineTask, mode: ProofMode) -> TaskOutput {
 fn proof_task_count(models: usize, secrets: usize, mode: ProofMode) -> usize {
     models * secrets
         + match mode {
-            ProofMode::Certified => 1,
+            ProofMode::Certified | ProofMode::CertifiedRecording => 1,
             ProofMode::ReplayCheck => 0,
         }
 }
@@ -255,15 +341,22 @@ fn proof_task_count(models: usize, secrets: usize, mode: ProofMode) -> usize {
 /// order) into a [`ProofReport`] identical to the sequential `prove`:
 /// same verdicts, same violation order, same first witness, same step
 /// count, same transparency certificate.
+///
+/// `runs` are the proof's (model, secret) inputs in the same
+/// model-major order: when a digest-first model's fingerprints
+/// disagree, the merge re-runs the offending pair with recording sinks
+/// to extract the witness — the only trace materialisation a
+/// digest-first proof ever performs.
 fn merge_proof_stream(
     aisa: tp_hw::aisa::ConformanceReport,
     models: &[TimeModel],
     secrets: &[u64],
     mode: ProofMode,
+    runs: &[ProofTask],
     it: &mut impl Iterator<Item = TaskOutput>,
 ) -> ProofReport {
     let cert_replay = match mode {
-        ProofMode::Certified => match it.next() {
+        ProofMode::Certified | ProofMode::CertifiedRecording => match it.next() {
             Some(TaskOutput::Cert(d)) => Some(d),
             _ => panic!("certification replay must lead a certified proof stream"),
         },
@@ -275,8 +368,9 @@ fn merge_proof_stream(
     let mut ni = Vec::with_capacity(models.len());
     let mut steps = 0;
     let mut transparency: Option<TransparencyCert> = None;
-    for model in models {
-        let mut runs: Vec<(u64, Vec<ObsEvent>)> = Vec::with_capacity(secrets.len());
+    for (mi, model) in models.iter().enumerate() {
+        let mut traces: Vec<(u64, Vec<ObsEvent>)> = Vec::new();
+        let mut digests: Vec<(u64, usize, u64)> = Vec::new();
         for &s in secrets {
             let shard = match it.next() {
                 Some(TaskOutput::Run(s)) => *s,
@@ -295,11 +389,29 @@ fn merge_proof_stream(
                     switch_digest: shard.switch_digest,
                 });
             }
-            runs.push((s, shard.trace));
+            match shard.trace {
+                Some(trace) => traces.push((s, trace)),
+                None => digests.push((s, shard.lo_len, shard.monitored_digest)),
+            }
         }
+        let verdict = if digests.is_empty() {
+            compare_secret_runs(&traces)
+        } else {
+            compare_secret_digests(&digests).unwrap_or_else(|b| {
+                // Fingerprint divergence: lockstep re-run of the
+                // baseline and the offending secret with recording
+                // sinks, stopped at the first diverging event. Sinks
+                // (and the read-only monitors, per the transparency
+                // certification) cannot influence execution, so the
+                // extracted witness is exactly what the digest runs
+                // observed.
+                let model_runs = &runs[mi * secrets.len()..(mi + 1) * secrets.len()];
+                model_runs[0].lockstep_leak(&model_runs[b], secrets[0], secrets[b])
+            })
+        };
         ni.push(ModelVerdict {
             model: *model,
-            verdict: compare_secret_runs(&runs),
+            verdict,
         });
     }
     ProofReport {
@@ -352,14 +464,14 @@ pub fn prove_parallel_mode(
 ) -> ProofReport {
     check_proof_inputs(scenario, models);
     let aisa = check_conformance(&scenario.mcfg);
-    let outputs = pool.map(proof_tasks(scenario, models, mode), move |_, t| {
-        run_engine_task(t, mode)
-    });
+    let batch = proof_tasks(scenario, models, mode);
+    let outputs = pool.map(batch.tasks, move |_, t| run_engine_task(t, mode));
     merge_proof_stream(
         aisa,
         models,
         &scenario.secrets,
         mode,
+        &batch.runs,
         &mut outputs.into_iter(),
     )
 }
@@ -384,14 +496,17 @@ pub fn prove_parallel_scoped_mode(
 ) -> ProofReport {
     check_proof_inputs(scenario, models);
     let aisa = check_conformance(&scenario.mcfg);
-    let tasks = proof_tasks(scenario, models, mode);
-    // Configs clone cheaply relative to the runs they parameterise.
-    let outputs = parallel_map(&tasks, threads, |_, t| run_engine_task(t.clone(), mode));
+    let batch = proof_tasks(scenario, models, mode);
+    // Tasks clone at pointer cost: their configs are Arc-shared.
+    let outputs = parallel_map(&batch.tasks, threads, |_, t| {
+        run_engine_task(t.clone(), mode)
+    });
     merge_proof_stream(
         aisa,
         models,
         &scenario.secrets,
         mode,
+        &batch.runs,
         &mut outputs.into_iter(),
     )
 }
@@ -404,6 +519,13 @@ pub fn prove_parallel_scoped_mode(
 /// keep scheduling traffic negligible next to a full system run.
 const EXH_BLOCK: usize = 8;
 
+thread_local! {
+    /// Per-worker scratch trace for recording-mode scans: one buffer
+    /// per thread for the whole sweep instead of an allocation per
+    /// enumerated word.
+    static EXH_SCRATCH: RefCell<Vec<ObsEvent>> = const { RefCell::new(Vec::new()) };
+}
+
 /// A leak found by one exhaustive shard.
 struct ExhCandidate {
     index: usize,
@@ -413,13 +535,66 @@ struct ExhCandidate {
     witness_event: Option<ObsEvent>,
 }
 
+impl ExhCandidate {
+    /// Rebuild the candidate's full evidence from a digest-first hit:
+    /// recording re-runs of the baseline and the witness.
+    fn from_digest_hit(runner: &ExhaustiveRunner, index: usize, word: Vec<Instr>) -> Self {
+        let ExhaustiveVerdict::Leak {
+            program_index,
+            witness,
+            divergence,
+            baseline_event,
+            witness_event,
+        } = recorded_leak(runner, index, word)
+        else {
+            unreachable!("recorded_leak always returns a leak");
+        };
+        ExhCandidate {
+            index: program_index,
+            witness,
+            divergence,
+            baseline_event,
+            witness_event,
+        }
+    }
+}
+
+/// The shared baseline an exhaustive scan compares against: always the
+/// `(len, digest)` fingerprint, plus the recorded trace in recording
+/// mode.
+struct ExhBaseline {
+    fingerprint: (usize, u64),
+    trace: Option<Vec<ObsEvent>>,
+}
+
+impl ExhBaseline {
+    fn new(runner: &ExhaustiveRunner, mode: ExhaustiveMode) -> Self {
+        match mode {
+            ExhaustiveMode::DigestFirst => ExhBaseline {
+                fingerprint: runner.run_digest(&[]),
+                trace: None,
+            },
+            ExhaustiveMode::Recording => {
+                let trace = runner.run(&[]);
+                ExhBaseline {
+                    fingerprint: (trace.len(), crate::noninterference::obs_digest(&trace)),
+                    trace: Some(trace),
+                }
+            }
+        }
+    }
+}
+
 /// Scan one contiguous index block for leaks against `baseline`,
 /// pruning past any already-known lower-index leak in `best`.
+/// Digest-first scans compare fingerprints and only materialise traces
+/// for a hit; recording scans replay every word into the per-worker
+/// scratch buffer.
 fn scan_exhaustive_block(
     runner: &ExhaustiveRunner,
     alphabet: &[Instr],
     max_len: usize,
-    baseline: &[ObsEvent],
+    baseline: &ExhBaseline,
     best: &AtomicUsize,
     start: usize,
     end: usize,
@@ -430,16 +605,24 @@ fn scan_exhaustive_block(
         }
         let word =
             word_for_index(alphabet, max_len, index).expect("index is within the enumerated space");
-        let trace = runner.run(&word);
-        if let Some(div) = first_divergence(baseline, &trace) {
+        let candidate = match &baseline.trace {
+            None => (runner.run_digest(&word) != baseline.fingerprint)
+                .then(|| ExhCandidate::from_digest_hit(runner, index, word)),
+            Some(base) => EXH_SCRATCH.with(|scratch| {
+                let buf = &mut *scratch.borrow_mut();
+                runner.run_recorded_into(&word, buf);
+                first_divergence(base, buf).map(|div| ExhCandidate {
+                    index,
+                    witness: word,
+                    divergence: div,
+                    baseline_event: base.get(div).copied(),
+                    witness_event: buf.get(div).copied(),
+                })
+            }),
+        };
+        if let Some(c) = candidate {
             best.fetch_min(index, Ordering::Relaxed);
-            return Some(ExhCandidate {
-                index,
-                witness: word,
-                divergence: div,
-                baseline_event: baseline.get(div).copied(),
-                witness_event: trace.get(div).copied(),
-            });
+            return Some(c);
         }
     }
     None
@@ -466,7 +649,8 @@ fn merge_exhaustive_candidates(
 }
 
 /// [`crate::exhaustive::check_exhaustive`], sharded by index blocks on
-/// the process-wide [`tp_sched::global`] pool.
+/// the process-wide [`tp_sched::global`] pool — digest-first: each
+/// Hi-word runs trace-free against the cached baseline fingerprint.
 ///
 /// Workers record every leak they find; the verdict is the candidate
 /// with the lowest program index. Because the sequential checker stops
@@ -483,8 +667,19 @@ pub fn check_exhaustive_parallel_on(
     pool: &WorkerPool,
     cfg: &ExhaustiveConfig,
 ) -> ExhaustiveVerdict {
+    check_exhaustive_parallel_mode(pool, cfg, ExhaustiveMode::DigestFirst)
+}
+
+/// [`check_exhaustive_parallel_on`] with an explicit
+/// [`ExhaustiveMode`] — [`ExhaustiveMode::Recording`] is the fully
+/// materialised equivalence oracle.
+pub fn check_exhaustive_parallel_mode(
+    pool: &WorkerPool,
+    cfg: &ExhaustiveConfig,
+    mode: ExhaustiveMode,
+) -> ExhaustiveVerdict {
     let runner = Arc::new(ExhaustiveRunner::new(cfg));
-    let baseline = Arc::new(runner.run(&[]));
+    let baseline = Arc::new(ExhBaseline::new(&runner, mode));
     let total = space_size(cfg.alphabet.len(), cfg.max_len);
     let alphabet = Arc::new(cfg.alphabet.clone());
     let max_len = cfg.max_len;
@@ -499,20 +694,21 @@ pub fn check_exhaustive_parallel_on(
 }
 
 /// [`check_exhaustive_parallel`] on a scoped spawn-per-call pool — the
-/// pre-`tp-sched` execution path, kept as a comparison baseline.
+/// pre-`tp-sched`, fully recording execution path, kept as a comparison
+/// baseline for both the scheduler and the digest-first optimisation.
 pub fn check_exhaustive_parallel_scoped(
     cfg: &ExhaustiveConfig,
     threads: usize,
 ) -> ExhaustiveVerdict {
     let runner = ExhaustiveRunner::new(cfg);
-    let baseline = runner.run(&[]);
+    let baseline = ExhBaseline::new(&runner, ExhaustiveMode::Recording);
     let total = space_size(cfg.alphabet.len(), cfg.max_len);
 
     // No point spawning more workers than there are blocks to claim.
     let threads = threads.max(1).min(total.div_ceil(EXH_BLOCK).max(1));
     let next_block = AtomicUsize::new(0);
     let best = AtomicUsize::new(usize::MAX);
-    let candidates: Mutex<Vec<ExhCandidate>> = Mutex::new(Vec::new());
+    let candidates: std::sync::Mutex<Vec<ExhCandidate>> = std::sync::Mutex::new(Vec::new());
 
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -608,6 +804,14 @@ impl ScenarioMatrix {
         } else {
             ProofMode::Certified
         };
+        self
+    }
+
+    /// Prove every cell under an explicit [`ProofMode`] —
+    /// [`ProofMode::CertifiedRecording`] is how the equivalence and
+    /// perf harnesses force the pre-digest-first behaviour.
+    pub fn with_mode(mut self, mode: ProofMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -803,26 +1007,32 @@ impl ScenarioMatrix {
         let all = self.cells();
         let mode = self.mode;
         // Flatten every selected cell into the one task list; remember
-        // each cell's shard count and conformance for the ordered merge.
+        // each cell's shard inputs and conformance for the ordered
+        // merge (and for digest-divergence re-runs).
         let mut tasks = Vec::new();
         let mut meta = Vec::with_capacity(indices.len());
         for &ci in indices {
             let cell = &all[ci];
             let scenario = apply_cell(make_scenario(cell), cell);
             check_proof_inputs(&scenario, &self.models);
-            let cell_tasks = proof_tasks(&scenario, &self.models, mode);
+            let batch = proof_tasks(&scenario, &self.models, mode);
             debug_assert_eq!(
-                cell_tasks.len(),
+                batch.tasks.len(),
                 proof_task_count(self.models.len(), scenario.secrets.len(), mode)
             );
-            meta.push((ci, check_conformance(&cell.mcfg), scenario.secrets.clone()));
-            tasks.extend(cell_tasks);
+            meta.push((
+                ci,
+                check_conformance(&cell.mcfg),
+                scenario.secrets.clone(),
+                batch.runs,
+            ));
+            tasks.extend(batch.tasks);
         }
 
         let mut stream = pool.map_streamed(tasks, move |_, t| run_engine_task(t, mode));
         let mut out = Vec::with_capacity(indices.len());
-        for (ci, aisa, secrets) in meta {
-            let report = merge_proof_stream(aisa, &self.models, &secrets, mode, &mut stream);
+        for (ci, aisa, secrets, runs) in meta {
+            let report = merge_proof_stream(aisa, &self.models, &secrets, mode, &runs, &mut stream);
             on_cell(ci, &all[ci], &report);
             out.push((ci, all[ci].clone(), report));
         }
@@ -851,10 +1061,12 @@ impl ScenarioMatrix {
     }
 
     /// NI-only matrix run on the process-wide pool: shard every cell's
-    /// per-secret replay and compare Lo traces, without the monitored
-    /// P/F/T runs a full [`ScenarioMatrix::run`] performs. Each cell's
-    /// verdict is identical to `check_noninterference` on that cell's
-    /// scenario (same [`lo_trace`] + [`compare_secret_runs`] path)
+    /// per-secret run and compare Lo observations, without the
+    /// monitored P/F/T runs a full [`ScenarioMatrix::run`] performs.
+    /// Digest-first like [`crate::check_noninterference`]: every run is
+    /// trace-free, and only a fingerprint mismatch re-runs the
+    /// offending pair for the witness — each cell's verdict is
+    /// identical to `check_noninterference` on that cell's scenario
     /// under the cell machine's own time model. This is the cheap
     /// driver for sweeps that only need leak/no-leak answers, like the
     /// E11 ablation table.
@@ -870,24 +1082,72 @@ impl ScenarioMatrix {
     where
         F: Fn(&MatrixCell) -> NiScenario,
     {
-        let cells = self.cells();
-        struct NiTask {
-            mcfg: MachineConfig,
-            kcfg: KernelConfig,
-            secret: u64,
-            lo: DomainId,
-            budget: Cycles,
-            max_steps: usize,
+        let (cells, counts, tasks) = self.ni_tasks(make_scenario);
+        let tasks = Arc::new(tasks);
+        let worker_tasks = Arc::clone(&tasks);
+        // Stream the fingerprints so cells merge — and any divergence
+        // re-runs execute — while the sweep's tail is still running on
+        // the pool.
+        let mut stream = pool.map_streamed((0..tasks.len()).collect(), move |_, i| {
+            worker_tasks[i].fingerprint()
+        });
+        let mut out = Vec::with_capacity(cells.len());
+        let mut offset = 0;
+        for (cell, n) in cells.into_iter().zip(counts) {
+            let runs: Vec<(u64, usize, u64)> = (0..n)
+                .map(|_| {
+                    stream
+                        .next_result()
+                        .expect("one fingerprint per (cell, secret)")
+                })
+                .collect();
+            out.push((cell, ni_verdict(&runs, &tasks[offset..offset + n])));
+            offset += n;
         }
+        out
+    }
+
+    /// [`ScenarioMatrix::run_ni`] on a scoped spawn-per-call pool — the
+    /// pre-`tp-sched` execution path, kept as a comparison baseline for
+    /// the scheduler. Digest-first like the pool path, so the two
+    /// differ only in scheduling.
+    pub fn run_ni_scoped<F>(&self, threads: usize, make_scenario: F) -> Vec<(MatrixCell, NiVerdict)>
+    where
+        F: Fn(&MatrixCell) -> NiScenario + Sync,
+    {
+        let (cells, counts, tasks) = self.ni_tasks(make_scenario);
+        let fingerprints = parallel_map(&tasks, threads, |_, t| t.fingerprint());
+        let mut out = Vec::with_capacity(cells.len());
+        let mut it = fingerprints.into_iter();
+        let mut offset = 0;
+        for (cell, n) in cells.into_iter().zip(counts) {
+            let runs: Vec<(u64, usize, u64)> = (0..n)
+                .map(|_| it.next().expect("one fingerprint per (cell, secret)"))
+                .collect();
+            out.push((cell, ni_verdict(&runs, &tasks[offset..offset + n])));
+            offset += n;
+        }
+        out
+    }
+
+    /// Flatten the matrix into NI-only run tasks: per cell, one task
+    /// per secret, configs `Arc`-shared. Returns (cells, per-cell
+    /// secret counts, tasks).
+    fn ni_tasks<F>(&self, make_scenario: F) -> (Vec<MatrixCell>, Vec<usize>, Vec<NiTask>)
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+    {
+        let cells = self.cells();
         let mut tasks = Vec::new();
         let mut counts = Vec::with_capacity(cells.len());
         for cell in &cells {
             let sc = apply_cell(make_scenario(cell), cell);
             counts.push(sc.secrets.len());
+            let mcfg = Arc::new(sc.mcfg.clone());
             for &s in &sc.secrets {
                 tasks.push(NiTask {
-                    mcfg: sc.mcfg.clone(),
-                    kcfg: (sc.make_kcfg)(s),
+                    mcfg: Arc::clone(&mcfg),
+                    kcfg: Arc::new((sc.make_kcfg)(s)),
                     secret: s,
                     lo: sc.lo,
                     budget: sc.budget,
@@ -895,57 +1155,53 @@ impl ScenarioMatrix {
                 });
             }
         }
-        let traces = pool.map(tasks, |_, t| {
-            (
-                t.secret,
-                lo_trace(&t.mcfg, t.kcfg, t.lo, t.budget, t.max_steps),
-            )
-        });
-        let mut out = Vec::with_capacity(cells.len());
-        let mut it = traces.into_iter();
-        for (cell, n) in cells.into_iter().zip(counts) {
-            let runs: Vec<(u64, Vec<ObsEvent>)> = (0..n)
-                .map(|_| it.next().expect("one trace per (cell, secret)"))
-                .collect();
-            out.push((cell, compare_secret_runs(&runs)));
-        }
-        out
+        (cells, counts, tasks)
+    }
+}
+
+/// One NI-only run: a (cell, secret) system to fingerprint.
+struct NiTask {
+    mcfg: Arc<MachineConfig>,
+    kcfg: Arc<KernelConfig>,
+    secret: u64,
+    lo: DomainId,
+    budget: Cycles,
+    max_steps: usize,
+}
+
+impl NiTask {
+    /// The digest-first unit of work.
+    fn fingerprint(&self) -> (u64, usize, u64) {
+        let (len, digest) =
+            lo_digest_len(&self.mcfg, &self.kcfg, self.lo, self.budget, self.max_steps);
+        (self.secret, len, digest)
     }
 
-    /// [`ScenarioMatrix::run_ni`] on a scoped spawn-per-call pool — the
-    /// pre-`tp-sched` execution path, kept as a comparison baseline.
-    pub fn run_ni_scoped<F>(&self, threads: usize, make_scenario: F) -> Vec<(MatrixCell, NiVerdict)>
-    where
-        F: Fn(&MatrixCell) -> NiScenario + Sync,
-    {
-        let cells = self.cells();
-        let scenarios: Vec<NiScenario> = cells
-            .iter()
-            .map(|c| apply_cell(make_scenario(c), c))
-            .collect();
-        let tasks: Vec<(usize, usize)> = scenarios
-            .iter()
-            .enumerate()
-            .flat_map(|(ci, sc)| (0..sc.secrets.len()).map(move |si| (ci, si)))
-            .collect();
-        let traces = parallel_map(&tasks, threads, |_, &(ci, si)| {
-            let sc = &scenarios[ci];
-            let s = sc.secrets[si];
-            (
-                s,
-                lo_trace(&sc.mcfg, (sc.make_kcfg)(s), sc.lo, sc.budget, sc.max_steps),
-            )
-        });
-        let mut out = Vec::with_capacity(cells.len());
-        let mut it = traces.into_iter();
-        for (ci, cell) in cells.into_iter().enumerate() {
-            let runs: Vec<(u64, Vec<ObsEvent>)> = (0..scenarios[ci].secrets.len())
-                .map(|_| it.next().expect("one trace per (cell, secret)"))
-                .collect();
-            out.push((cell, compare_secret_runs(&runs)));
-        }
-        out
+    /// A fresh recording system for this task's configuration.
+    fn build(&self) -> System {
+        System::from_parts(&self.mcfg, &self.kcfg)
+            .expect("scenario construction must succeed for every secret")
     }
+}
+
+/// One cell's NI verdict from its secrets' fingerprints. When
+/// fingerprints diverge, the offending pair is re-run in lockstep
+/// (recording sinks, stopped at the first diverging event) — identical
+/// to `check_noninterference` on the cell's scenario.
+fn ni_verdict(runs: &[(u64, usize, u64)], tasks: &[NiTask]) -> NiVerdict {
+    compare_secret_digests(runs).unwrap_or_else(|b| {
+        let t = &tasks[0];
+        let (divergence, event_a, event_b) =
+            lockstep_divergence(t.build(), tasks[b].build(), t.lo, t.budget, t.max_steps)
+                .expect("a fingerprint mismatch implies a trace divergence");
+        NiVerdict::Leak {
+            secret_a: runs[0].0,
+            secret_b: runs[b].0,
+            divergence,
+            event_a,
+            event_b,
+        }
+    })
 }
 
 /// Specialise a base scenario to one matrix cell: the cell's machine

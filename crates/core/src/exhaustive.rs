@@ -17,6 +17,7 @@
 //! would write), doubling as a channel-discovery tool.
 
 use tp_hw::machine::MachineConfig;
+use tp_hw::obs::RecordingSink;
 use tp_hw::types::Cycles;
 use tp_kernel::config::{DomainSpec, KernelConfig, TimeProtConfig};
 use tp_kernel::domain::{DomainId, ObsEvent};
@@ -141,6 +142,12 @@ fn lo_observer() -> TraceProgram {
 /// the copies are indistinguishable from fresh construction, so every
 /// checker keeps its bit-identical-verdict guarantee.
 ///
+/// The template carries digest-only sinks, so the hot path
+/// ([`ExhaustiveRunner::run_digest`]) stamps, runs and fingerprints a
+/// system without building (and dropping) a trace vector per program;
+/// the recording paths swap Lo's sink per run, reusing a
+/// caller-supplied scratch buffer.
+///
 /// `Sync`, so the parallel engine shares one runner across all workers.
 pub struct ExhaustiveRunner {
     template: SystemTemplate,
@@ -165,22 +172,62 @@ impl ExhaustiveRunner {
         ])
         .with_tp(cfg.tp);
         ExhaustiveRunner {
-            template: SystemTemplate::new(cfg.mcfg.clone(), kcfg).expect("exhaustive system"),
+            template: SystemTemplate::new(cfg.mcfg.clone(), kcfg)
+                .expect("exhaustive system")
+                .with_digest_sinks(),
             budget: cfg.budget,
             max_steps: cfg.max_steps,
         }
     }
 
-    /// Run one Hi program (plus the fixed Lo observer) and return Lo's
-    /// observation log.
-    pub fn run(&self, hi: &[Instr]) -> Vec<ObsEvent> {
-        let mut hi_prog: Vec<Instr> = hi.to_vec();
+    /// Stamp a system with `hi` installed as the Hi program.
+    fn stamp(&self, hi: &[Instr]) -> tp_kernel::kernel::System {
+        let mut hi_prog: Vec<Instr> = Vec::with_capacity(hi.len() + 1);
+        hi_prog.extend_from_slice(hi);
         hi_prog.push(Instr::Halt);
-        let mut sys = self
-            .template
-            .instantiate_with_program(DomainId(0), Box::new(TraceProgram::new(hi_prog)));
+        self.template
+            .instantiate_with_program(DomainId(0), Box::new(TraceProgram::new(hi_prog)))
+    }
+
+    /// Run one Hi program trace-free and return the `(len, digest)`
+    /// fingerprint of Lo's observation log — the hot path: no per-event
+    /// storage is allocated anywhere in the run.
+    pub fn run_digest(&self, hi: &[Instr]) -> (usize, u64) {
+        let mut sys = self.stamp(hi);
         sys.run_cycles(self.budget, self.max_steps);
-        sys.observation(DomainId(1)).events.clone()
+        (sys.obs_len(DomainId(1)), sys.obs_digest(DomainId(1)))
+    }
+
+    /// Run one Hi program with Lo recording into `buf` (cleared first,
+    /// allocation reused) — the per-worker scratch-buffer path of the
+    /// recording mode and of divergence witness extraction.
+    pub fn run_recorded_into(&self, hi: &[Instr], buf: &mut Vec<ObsEvent>) {
+        let mut sys = self.stamp(hi);
+        sys.set_obs_sink(
+            DomainId(1),
+            Box::new(RecordingSink::with_buffer(std::mem::take(buf))),
+        );
+        sys.run_cycles(self.budget, self.max_steps);
+        *buf = sys
+            .take_observation(DomainId(1))
+            .expect("recording sink was just installed");
+    }
+
+    /// Run one Hi program (plus the fixed Lo observer) and return Lo's
+    /// observation log. One-shot convenience over
+    /// [`ExhaustiveRunner::run_recorded_into`].
+    pub fn run(&self, hi: &[Instr]) -> Vec<ObsEvent> {
+        let mut buf = Vec::new();
+        self.run_recorded_into(hi, &mut buf);
+        buf
+    }
+
+    /// A stamped, not-yet-run system with Lo recording — the input the
+    /// lockstep witness extractor drives step by step.
+    fn recording_system(&self, hi: &[Instr]) -> tp_kernel::kernel::System {
+        let mut sys = self.stamp(hi);
+        sys.set_obs_sink(DomainId(1), Box::new(RecordingSink::default()));
+        sys
     }
 }
 
@@ -228,25 +275,90 @@ pub fn word_for_index(alphabet: &[Instr], max_len: usize, index: usize) -> Optio
     None
 }
 
-/// Enumerate every Hi program up to `cfg.max_len` and compare Lo traces
-/// against the empty-program baseline.
-pub fn check_exhaustive(cfg: &ExhaustiveConfig) -> ExhaustiveVerdict {
-    let runner = ExhaustiveRunner::new(cfg);
-    let baseline = runner.run(&[]);
-    let total = space_size(cfg.alphabet.len(), cfg.max_len);
+/// How an exhaustive check executes its runs. Both modes return
+/// bit-identical verdicts (the equivalence suite pins this); they
+/// differ only in what the hot loop materialises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExhaustiveMode {
+    /// The default: every run is trace-free (`(len, digest)`
+    /// fingerprints compared against the cached baseline fingerprint);
+    /// only a divergence triggers a recording re-run of the offending
+    /// word and the baseline to extract the witness events.
+    #[default]
+    DigestFirst,
+    /// Every run fully recorded and compared event by event — the
+    /// pre-digest-first semantics, kept as the equivalence oracle (with
+    /// one scratch buffer reused across words instead of a fresh
+    /// allocation per run).
+    Recording,
+}
 
-    for index in 1..=total {
-        let word = word_for_index(&cfg.alphabet, cfg.max_len, index)
-            .expect("index is within the enumerated space");
-        let trace = runner.run(&word);
-        if let Some(div) = crate::noninterference::first_divergence(&baseline, &trace) {
-            return ExhaustiveVerdict::Leak {
-                program_index: index,
-                witness: word,
-                divergence: div,
-                baseline_event: baseline.get(div).copied(),
-                witness_event: trace.get(div).copied(),
-            };
+/// Materialise the leak verdict for `word` at `index` by re-running the
+/// baseline and the witness in lockstep (recording, stopped at the
+/// first diverging Lo event). Shared by both checkers and the parallel
+/// engine, so a leak found digest-first carries exactly the evidence a
+/// recorded comparison would have.
+pub(crate) fn recorded_leak(
+    runner: &ExhaustiveRunner,
+    index: usize,
+    word: Vec<Instr>,
+) -> ExhaustiveVerdict {
+    let (div, baseline_event, witness_event) = crate::noninterference::lockstep_divergence(
+        runner.recording_system(&[]),
+        runner.recording_system(&word),
+        DomainId(1),
+        runner.budget,
+        runner.max_steps,
+    )
+    .expect("a fingerprint mismatch implies a trace divergence");
+    ExhaustiveVerdict::Leak {
+        program_index: index,
+        witness: word,
+        divergence: div,
+        baseline_event,
+        witness_event,
+    }
+}
+
+/// Enumerate every Hi program up to `cfg.max_len` and compare Lo's
+/// observations against the empty-program baseline — digest-first
+/// ([`ExhaustiveMode::DigestFirst`]).
+pub fn check_exhaustive(cfg: &ExhaustiveConfig) -> ExhaustiveVerdict {
+    check_exhaustive_mode(cfg, ExhaustiveMode::DigestFirst)
+}
+
+/// [`check_exhaustive`] with an explicit [`ExhaustiveMode`].
+pub fn check_exhaustive_mode(cfg: &ExhaustiveConfig, mode: ExhaustiveMode) -> ExhaustiveVerdict {
+    let runner = ExhaustiveRunner::new(cfg);
+    let total = space_size(cfg.alphabet.len(), cfg.max_len);
+    match mode {
+        ExhaustiveMode::DigestFirst => {
+            let baseline = runner.run_digest(&[]);
+            for index in 1..=total {
+                let word = word_for_index(&cfg.alphabet, cfg.max_len, index)
+                    .expect("index is within the enumerated space");
+                if runner.run_digest(&word) != baseline {
+                    return recorded_leak(&runner, index, word);
+                }
+            }
+        }
+        ExhaustiveMode::Recording => {
+            let baseline = runner.run(&[]);
+            let mut buf = Vec::new();
+            for index in 1..=total {
+                let word = word_for_index(&cfg.alphabet, cfg.max_len, index)
+                    .expect("index is within the enumerated space");
+                runner.run_recorded_into(&word, &mut buf);
+                if let Some(div) = crate::noninterference::first_divergence(&baseline, &buf) {
+                    return ExhaustiveVerdict::Leak {
+                        program_index: index,
+                        witness: word,
+                        divergence: div,
+                        baseline_event: baseline.get(div).copied(),
+                        witness_event: buf.get(div).copied(),
+                    };
+                }
+            }
         }
     }
     ExhaustiveVerdict::Pass {
@@ -298,5 +410,41 @@ mod tests {
             !v.passed(),
             "missing padding must be discoverable by enumeration"
         );
+    }
+
+    /// The digest-first hot path and the fully recorded oracle return
+    /// bit-identical verdicts — Pass counts and Leak witnesses alike.
+    #[test]
+    fn digest_first_and_recording_modes_agree() {
+        for tp in [
+            TimeProtConfig::full(),
+            TimeProtConfig::off(),
+            TimeProtConfig::full_without(Mechanism::Padding),
+        ] {
+            let cfg = quick(tp, 2);
+            assert_eq!(
+                check_exhaustive_mode(&cfg, ExhaustiveMode::DigestFirst),
+                check_exhaustive_mode(&cfg, ExhaustiveMode::Recording),
+                "{tp:?}"
+            );
+        }
+    }
+
+    /// The runner's fingerprint path agrees with its recording path on
+    /// a per-word basis.
+    #[test]
+    fn run_digest_matches_recorded_fingerprint() {
+        let runner = ExhaustiveRunner::new(&quick(TimeProtConfig::off(), 2));
+        let mut buf = Vec::new();
+        for word in [
+            vec![],
+            vec![Instr::Compute(7)],
+            vec![Instr::Store(data_addr(64)), Instr::Load(data_addr(0))],
+        ] {
+            let (len, digest) = runner.run_digest(&word);
+            runner.run_recorded_into(&word, &mut buf);
+            assert_eq!(len, buf.len(), "{word:?}");
+            assert_eq!(digest, crate::noninterference::obs_digest(&buf), "{word:?}");
+        }
     }
 }

@@ -91,9 +91,12 @@ pub use engine::{
     available_threads, check_exhaustive_parallel, prove_parallel, MatrixCell, MatrixReport,
     ProofMode, ScenarioMatrix,
 };
-pub use exhaustive::{check_exhaustive, ExhaustiveConfig, ExhaustiveVerdict};
+pub use exhaustive::{
+    check_exhaustive, check_exhaustive_mode, ExhaustiveConfig, ExhaustiveMode, ExhaustiveVerdict,
+};
 pub use noninterference::{
-    check_noninterference, obs_digest, NiScenario, NiVerdict, TransparencyCert,
+    check_ni_parts_recording, check_noninterference, obs_digest, NiScenario, NiVerdict,
+    TransparencyCert,
 };
 pub use obligation::{ObligationResult, Violation, ViolationKind};
 pub use proof::{default_time_models, prove, ProofReport};

@@ -12,11 +12,24 @@
 //! Where the paper proves this once and for all with Isabelle/HOL, the
 //! reproduction *checks* it by exhaustive replay: build the same system
 //! under every secret in a caller-supplied set, run each copy for the
-//! same budget, and compare Lo's observation logs event by event. A
-//! divergence is a concrete, replayable timing-channel witness; its
-//! absence over the enumerated secrets (and over a family of time
-//! models, see [`crate::proof`]) is the evidence the proof obligations
-//! are discharged.
+//! same budget, and compare Lo's observation logs. A divergence is a
+//! concrete, replayable timing-channel witness; its absence over the
+//! enumerated secrets (and over a family of time models, see
+//! [`crate::proof`]) is the evidence the proof obligations are
+//! discharged.
+//!
+//! ## Digest-first execution
+//!
+//! The hot path never materialises an observation log. Each run's
+//! system carries [`tp_hw::obs::DigestSink`]s, so Lo's log exists only
+//! as a rolling `(len, digest)` fingerprint folded as events are
+//! emitted; [`check_ni_parts`] compares fingerprints. Only when two
+//! fingerprints disagree does the checker re-run the offending pair
+//! with [`tp_hw::obs::RecordingSink`]s to extract the replayable
+//! witness ([`first_divergence`] index plus the diverging events) —
+//! byte-identical to what a fully recorded comparison reports, because
+//! sinks cannot influence execution. [`check_ni_parts_recording`] keeps
+//! the fully materialised comparison alive as the equivalence oracle.
 //!
 //! ## Observation transparency
 //!
@@ -125,39 +138,10 @@ impl core::fmt::Display for NiVerdict {
 }
 
 // ---------------------------------------------------------------------
-// Observation digests
+// Observation digests (the primitives live with the sinks in tp-hw)
 // ---------------------------------------------------------------------
 
-/// FNV-1a offset basis — the seed of every rolling digest here.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Fold one `u64` into an FNV-1a state, byte by byte.
-fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
-    for b in v.to_le_bytes() {
-        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-/// Fold one observation event into a rolling digest state. Each arm
-/// starts with a distinct tag byte so e.g. `Clock(3)` and an
-/// `IpcRecv` carrying 3 cannot collide structurally.
-pub fn fold_obs_event(h: u64, e: &ObsEvent) -> u64 {
-    match e {
-        ObsEvent::Clock(c) => fnv1a_u64(fnv1a_u64(h, 1), c.0),
-        ObsEvent::IpcRecv { msg, at } => fnv1a_u64(fnv1a_u64(fnv1a_u64(h, 2), *msg), at.0),
-        ObsEvent::Fault => fnv1a_u64(h, 3),
-        ObsEvent::Halted => fnv1a_u64(h, 4),
-    }
-}
-
-/// Digest of a whole observation trace: the value [`run_monitored`]'s
-/// rolling digest converges to, recomputable from any trace.
-pub fn obs_digest(events: &[ObsEvent]) -> u64 {
-    events.iter().fold(FNV_OFFSET, fold_obs_event)
-}
+pub use tp_hw::obs::{fold_obs_event, mix_digest, obs_digest, OBS_DIGEST_SEED};
 
 /// The observation-transparency certificate for one proof cell: the
 /// digest of Lo's trace as seen by the *monitored* run versus the plain,
@@ -223,11 +207,15 @@ pub struct MonitoredRun {
     /// Steps executed.
     pub steps: usize,
     /// Lo's certified observation trace — identical to
-    /// `system.observation(lo).events`, extracted so the engine can use
-    /// it as the NI baseline without touching the system again.
-    pub lo_trace: Vec<ObsEvent>,
-    /// Rolling digest of `lo_trace`, folded event by event as the run
-    /// progressed (equals [`obs_digest`]`(&lo_trace)`).
+    /// `system.observation(lo).events` — when the system records.
+    /// `None` on the digest-only hot path, where the `(lo_len,
+    /// lo_digest)` fingerprint stands in for the trace.
+    pub lo_trace: Option<Vec<ObsEvent>>,
+    /// Number of events Lo observed.
+    pub lo_len: usize,
+    /// Rolling digest of Lo's observation log, folded event by event by
+    /// the sink as the run progressed (equals [`obs_digest`] of the
+    /// trace when one is recorded).
     pub lo_digest: u64,
     /// Rolling chain of post-switch core-local digests.
     pub switch_digest: u64,
@@ -272,9 +260,7 @@ pub fn run_monitored_with(
     let mut p = ObligationResult::new("P");
     let mut f = ObligationResult::new("F");
     let mut steps = 0;
-    let mut lo_digest = FNV_OFFSET;
-    let mut switch_digest = FNV_OFFSET;
-    let mut folded = 0;
+    let mut switch_digest = OBS_DIGEST_SEED;
 
     p.merge(check_partition(&sys));
     while sys.now().0 < budget.0 && steps < max_steps {
@@ -284,35 +270,35 @@ pub fn run_monitored_with(
             monitor(&mut sys);
             f.merge(check_flush_at_switch(&sys, canonical));
             p.merge(check_partition(&sys));
-            switch_digest = fnv1a_u64(
+            switch_digest = mix_digest(
                 switch_digest,
                 sys.hw.cores[sys.kernel.core.0].microarch_digest(),
             );
         } else if steps % P_CHECK_INTERVAL == 0 {
             p.merge(check_partition(&sys));
         }
-        // Thread the rolling Lo digest: fold events appended since the
-        // last step, so the digest exists *during* the run (streaming
-        // consumers need not retain the trace). A hook that truncated
-        // the log is clamped here (and caught by the cross-check below).
-        let events = &sys.observation(lo).events;
-        folded = folded.min(events.len());
-        for e in &events[folded..] {
-            lo_digest = fold_obs_event(lo_digest, e);
-        }
-        folded = events.len();
     }
     let t = check_padding(&sys);
-    let lo_trace = sys.observation(lo).events.clone();
-    // Cross-check the rolling digest against a fresh fold of the final
-    // log. They differ only when a monitor rewrote history (in-place
-    // edit or truncation of already-folded events) — an append-only
-    // perturbation is caught by the rolling digest itself. Mix the two
-    // so certification fails loudly instead of certifying a trace the
-    // rolling digest never saw.
-    let final_digest = obs_digest(&lo_trace);
-    if lo_digest != final_digest {
-        lo_digest = fnv1a_u64(lo_digest, final_digest);
+    // The rolling Lo digest is threaded through the run by the sink
+    // itself, folding each event as the kernel emits it — so the digest
+    // exists *during* the run and nothing here retains the trace.
+    let lo_len = sys.obs_len(lo);
+    let mut lo_digest = sys.obs_digest(lo);
+    let lo_trace = sys.observation_opt(lo).map(|o| o.events.clone());
+    // Recording runs cross-check the rolling digest against a fresh
+    // fold of the final log. They differ only when a monitor bypassed
+    // the sink and edited the log behind its back (append, rewrite or
+    // truncation through `observation_mut`) — a monitor that records
+    // through the sink is caught by the replay comparison instead. Mix
+    // the two so certification fails loudly rather than certifying a
+    // trace the rolling digest never saw. Digest-only runs have no log
+    // to edit, so the rolling digest is the ground truth by
+    // construction.
+    if let Some(trace) = &lo_trace {
+        let final_digest = obs_digest(trace);
+        if lo_digest != final_digest {
+            lo_digest = mix_digest(lo_digest, final_digest);
+        }
     }
     MonitoredRun {
         system: sys,
@@ -321,6 +307,7 @@ pub fn run_monitored_with(
         t,
         steps,
         lo_trace,
+        lo_len,
         lo_digest,
         switch_digest,
     }
@@ -328,7 +315,9 @@ pub fn run_monitored_with(
 
 /// Run the plain (unmonitored) replay for one configuration and certify
 /// `run` against it: the one-time-per-cell digest comparison that
-/// proves monitoring is observation-transparent.
+/// proves monitoring is observation-transparent. The replay runs
+/// digest-only — its digest comes straight from the sink, so no replay
+/// trace is ever materialised.
 pub fn certify_transparency(
     run: &MonitoredRun,
     mcfg: &MachineConfig,
@@ -337,7 +326,7 @@ pub fn certify_transparency(
     budget: Cycles,
     max_steps: usize,
 ) -> TransparencyCert {
-    run.certify(obs_digest(&lo_trace(mcfg, kcfg, lo, budget, max_steps)))
+    run.certify(lo_digest_len(mcfg, &kcfg, lo, budget, max_steps).1)
 }
 
 /// Index of the first difference between two observation logs, if any
@@ -356,7 +345,9 @@ pub fn first_divergence(a: &[ObsEvent], b: &[ObsEvent]) -> Option<usize> {
     }
 }
 
-/// Run the scenario and compare Lo's observations across all secrets.
+/// Run the scenario and compare Lo's observations across all secrets —
+/// digest-first: each run is trace-free, and the full logs are only
+/// re-materialised for the offending pair when a leak is found.
 pub fn check_noninterference(sc: &NiScenario) -> NiVerdict {
     check_ni_parts(
         &sc.mcfg,
@@ -371,7 +362,50 @@ pub fn check_noninterference(sc: &NiScenario) -> NiVerdict {
 /// [`check_noninterference`] over unbundled parts — used by
 /// [`crate::proof::prove`] to substitute machine configurations (e.g.
 /// different time models) without rebuilding the scenario.
+///
+/// Digest-first: every secret runs against [`tp_hw::obs::DigestSink`]s
+/// and only `(len, digest)` fingerprints are compared. On a mismatch,
+/// the baseline and the offending secret are re-run with recording
+/// sinks to extract the witness; the resulting [`NiVerdict::Leak`] is
+/// byte-identical to the fully recorded comparison's
+/// ([`check_ni_parts_recording`], the equivalence oracle).
 pub fn check_ni_parts(
+    mcfg: &MachineConfig,
+    make_kcfg: &(dyn Fn(u64) -> KernelConfig + Send + Sync),
+    lo: DomainId,
+    secrets: &[u64],
+    budget: Cycles,
+    max_steps: usize,
+) -> NiVerdict {
+    assert!(secrets.len() >= 2, "need at least two secrets to compare");
+    let runs: Vec<(u64, usize, u64)> = secrets
+        .iter()
+        .map(|&s| {
+            let (len, digest) = lo_digest_len(mcfg, &make_kcfg(s), lo, budget, max_steps);
+            (s, len, digest)
+        })
+        .collect();
+    compare_secret_digests(&runs).unwrap_or_else(|b| {
+        // Divergence: lockstep re-run of the offending pair, recording
+        // sinks, stopped at the first diverging event.
+        lockstep_leak(
+            |s| {
+                System::from_parts(mcfg, &make_kcfg(s))
+                    .expect("scenario construction must succeed for every secret")
+            },
+            secrets[0],
+            secrets[b],
+            lo,
+            budget,
+            max_steps,
+        )
+    })
+}
+
+/// [`check_ni_parts`] with every run fully recorded and compared event
+/// by event — the pre-digest-first semantics, kept as the equivalence
+/// oracle the digest path is property-tested against.
+pub fn check_ni_parts_recording(
     mcfg: &MachineConfig,
     make_kcfg: &(dyn Fn(u64) -> KernelConfig + Send + Sync),
     lo: DomainId,
@@ -382,49 +416,175 @@ pub fn check_ni_parts(
     assert!(secrets.len() >= 2, "need at least two secrets to compare");
     let runs: Vec<(u64, Vec<ObsEvent>)> = secrets
         .iter()
-        .map(|&s| (s, lo_trace(mcfg, make_kcfg(s), lo, budget, max_steps)))
+        .map(|&s| (s, lo_trace(mcfg, &make_kcfg(s), lo, budget, max_steps)))
         .collect();
     compare_secret_runs(&runs)
 }
 
-/// Build and run one system, returning Lo's observation log — the unit
-/// of work the replay checker (and the parallel engine) is made of.
+/// Build and run one system, returning Lo's observation log — the
+/// recording-mode unit of work: witness extraction, the paranoid
+/// `--replay-check` audit path, and the equivalence oracles.
 pub fn lo_trace(
     mcfg: &MachineConfig,
-    kcfg: KernelConfig,
+    kcfg: &KernelConfig,
     lo: DomainId,
     budget: Cycles,
     max_steps: usize,
 ) -> Vec<ObsEvent> {
-    let mut sys = System::new(mcfg.clone(), kcfg)
+    let mut sys = System::from_parts(mcfg, kcfg)
         .expect("scenario construction must succeed for every secret");
     sys.run_cycles(budget, max_steps);
-    sys.observation(lo).events.clone()
+    sys.take_observation(lo)
+        .expect("freshly built systems record")
+}
+
+/// Build and run one system trace-free, returning only the `(len,
+/// digest)` fingerprint of Lo's observation log — the digest-first unit
+/// of work. Allocates no per-event storage at all.
+pub fn lo_digest_len(
+    mcfg: &MachineConfig,
+    kcfg: &KernelConfig,
+    lo: DomainId,
+    budget: Cycles,
+    max_steps: usize,
+) -> (usize, u64) {
+    let mut sys = System::from_parts(mcfg, kcfg)
+        .expect("scenario construction must succeed for every secret");
+    sys.use_digest_sinks();
+    sys.run_cycles(budget, max_steps);
+    (sys.obs_len(lo), sys.obs_digest(lo))
+}
+
+/// The [`NiVerdict::Leak`] between two recorded runs, or `None` when
+/// they agree. Shared by every divergence-fallback path so the witness
+/// shape is identical wherever the leak was first noticed.
+pub fn leak_between(
+    secret_a: u64,
+    base: &[ObsEvent],
+    secret_b: u64,
+    other: &[ObsEvent],
+) -> Option<NiVerdict> {
+    first_divergence(base, other).map(|i| NiVerdict::Leak {
+        secret_a,
+        secret_b,
+        divergence: i,
+        event_a: base.get(i).copied(),
+        event_b: other.get(i).copied(),
+    })
+}
+
+/// Run two freshly built (recording) systems in lockstep and return
+/// their Lo observations' first divergence — `(index, event_a,
+/// event_b)` — or `None` when the full runs agree event for event.
+///
+/// This is the witness extractor behind every digest-first fallback:
+/// both systems execute only **up to the diverging event** (leaks
+/// typically diverge within the first observation window, so the
+/// fallback costs a fraction of two full runs), yet the result is
+/// exactly [`first_divergence`] over the two complete traces — each
+/// system steps through the same `budget`/`max_steps` loop a full run
+/// would, and events already emitted cannot change.
+pub fn lockstep_divergence(
+    mut a: System,
+    mut b: System,
+    lo: DomainId,
+    budget: Cycles,
+    max_steps: usize,
+) -> Option<(usize, Option<ObsEvent>, Option<ObsEvent>)> {
+    /// Step `sys` until Lo has observed more than `upto` events or the
+    /// run is over (budget spent / step cap hit) — the same loop
+    /// condition as `System::run_cycles`, paused at event boundaries.
+    fn advance(
+        sys: &mut System,
+        steps: &mut usize,
+        lo: DomainId,
+        budget: Cycles,
+        max_steps: usize,
+        upto: usize,
+    ) {
+        while sys.obs_len(lo) <= upto && sys.now().0 < budget.0 && *steps < max_steps {
+            sys.step();
+            *steps += 1;
+        }
+    }
+    let (mut steps_a, mut steps_b) = (0usize, 0usize);
+    let mut i = 0;
+    loop {
+        advance(&mut a, &mut steps_a, lo, budget, max_steps, i);
+        advance(&mut b, &mut steps_b, lo, budget, max_steps, i);
+        let ea = a.observation(lo).events.get(i).copied();
+        let eb = b.observation(lo).events.get(i).copied();
+        match (ea, eb) {
+            (None, None) => return None,
+            (ea, eb) if ea != eb => return Some((i, ea, eb)),
+            _ => i += 1,
+        }
+    }
+}
+
+/// Materialise the [`NiVerdict::Leak`] for two secrets whose
+/// fingerprints diverged, by building both systems and running them in
+/// lockstep to the first diverging event.
+pub(crate) fn lockstep_leak(
+    build: impl Fn(u64) -> System,
+    secret_a: u64,
+    secret_b: u64,
+    lo: DomainId,
+    budget: Cycles,
+    max_steps: usize,
+) -> NiVerdict {
+    let (divergence, event_a, event_b) =
+        lockstep_divergence(build(secret_a), build(secret_b), lo, budget, max_steps)
+            .expect("a fingerprint mismatch implies a trace divergence");
+    NiVerdict::Leak {
+        secret_a,
+        secret_b,
+        divergence,
+        event_a,
+        event_b,
+    }
 }
 
 /// Compare per-secret observation logs (first run is the baseline) and
-/// produce the NI verdict. Shared by the sequential checker and the
-/// engine's deterministic merge, so both report identical verdicts.
+/// produce the NI verdict. Shared by the recording-mode checker and the
+/// engine's `--replay-check` merge, so both report identical verdicts.
 pub fn compare_secret_runs(runs: &[(u64, Vec<ObsEvent>)]) -> NiVerdict {
     assert!(runs.len() >= 2, "need at least two secrets to compare");
     let (s0, ref base) = runs[0];
     let mut compared = base.len();
     for (s, obs) in runs.iter().skip(1) {
         compared += obs.len();
-        if let Some(i) = first_divergence(base, obs) {
-            return NiVerdict::Leak {
-                secret_a: s0,
-                secret_b: *s,
-                divergence: i,
-                event_a: base.get(i).copied(),
-                event_b: obs.get(i).copied(),
-            };
+        if let Some(v) = leak_between(s0, base, *s, obs) {
+            return v;
         }
     }
     NiVerdict::Pass {
         secrets: runs.len(),
         events_compared: compared,
     }
+}
+
+/// Compare per-secret `(secret, len, digest)` fingerprints (first run
+/// is the baseline). `Ok` is the [`NiVerdict::Pass`] — with the same
+/// `events_compared` a recorded comparison would report — and `Err(i)`
+/// is the index into `runs` of the first secret whose fingerprint
+/// disagrees with the baseline's, exactly the secret the recorded
+/// comparison would have reported first (equal traces have equal
+/// fingerprints, and distinct fingerprints force distinct traces).
+pub fn compare_secret_digests(runs: &[(u64, usize, u64)]) -> Result<NiVerdict, usize> {
+    assert!(runs.len() >= 2, "need at least two secrets to compare");
+    let (_, base_len, base_digest) = runs[0];
+    let mut compared = base_len;
+    for (i, &(_, len, digest)) in runs.iter().enumerate().skip(1) {
+        compared += len;
+        if (len, digest) != (base_len, base_digest) {
+            return Err(i);
+        }
+    }
+    Ok(NiVerdict::Pass {
+        secrets: runs.len(),
+        events_compared: compared,
+    })
 }
 
 #[cfg(test)]
@@ -513,8 +673,35 @@ mod tests {
         assert!(run.p.checked_points > 0);
         assert!(run.f.checked_points > 0);
         assert!(run.t.checked_points > 0);
-        assert_eq!(run.lo_trace, run.system.observation(sc.lo).events);
-        assert_eq!(run.lo_digest, obs_digest(&run.lo_trace));
+        let trace = run.lo_trace.as_ref().expect("recording run keeps a trace");
+        assert_eq!(trace, &run.system.observation(sc.lo).events);
+        assert_eq!(run.lo_len, trace.len());
+        assert_eq!(run.lo_digest, obs_digest(trace));
+    }
+
+    /// A digest-only monitored run discharges the same obligations and
+    /// produces the same fingerprint as the recording run — with no
+    /// trace retained anywhere.
+    #[test]
+    fn digest_only_monitored_run_matches_recording_fingerprint() {
+        let sc = scenario(TimeProtConfig::full());
+        let recorded = run_monitored(
+            System::new(sc.mcfg.clone(), (sc.make_kcfg)(7)).unwrap(),
+            sc.lo,
+            Cycles(800_000),
+            200_000,
+        );
+        let mut sys = System::new(sc.mcfg.clone(), (sc.make_kcfg)(7)).unwrap();
+        sys.use_digest_sinks();
+        let digest_only = run_monitored(sys, sc.lo, Cycles(800_000), 200_000);
+        assert!(digest_only.lo_trace.is_none(), "digest runs keep no trace");
+        assert_eq!(digest_only.lo_len, recorded.lo_len);
+        assert_eq!(digest_only.lo_digest, recorded.lo_digest);
+        assert_eq!(digest_only.switch_digest, recorded.switch_digest);
+        assert_eq!(digest_only.steps, recorded.steps);
+        assert_eq!(digest_only.p, recorded.p);
+        assert_eq!(digest_only.f, recorded.f);
+        assert_eq!(digest_only.t, recorded.t);
     }
 
     /// The monitored run's rolling digest must equal the plain replay's
@@ -539,26 +726,64 @@ mod tests {
         assert!(cert.to_string().contains("observation-transparent"));
     }
 
+    /// Digest-first and fully recorded NI checks agree — on a passing
+    /// scenario and on a leaking one, witness included.
     #[test]
-    fn obs_digest_distinguishes_structurally_close_traces() {
-        use ObsEvent::*;
-        let base = vec![Clock(Cycles(7)), Fault, Halted];
-        assert_eq!(obs_digest(&base), obs_digest(&base.clone()));
-        for other in [
-            vec![Clock(Cycles(8)), Fault, Halted],
-            vec![Fault, Clock(Cycles(7)), Halted],
-            vec![Clock(Cycles(7)), Fault],
-            vec![
-                IpcRecv {
-                    msg: 7,
-                    at: Cycles(0),
-                },
-                Fault,
-                Halted,
-            ],
-        ] {
-            assert_ne!(obs_digest(&base), obs_digest(&other), "{other:?}");
+    fn digest_first_verdicts_match_recording_verdicts() {
+        for tp in [TimeProtConfig::full(), TimeProtConfig::off()] {
+            let sc = scenario(tp);
+            let digest_first = check_noninterference(&sc);
+            let recorded = check_ni_parts_recording(
+                &sc.mcfg,
+                &*sc.make_kcfg,
+                sc.lo,
+                &sc.secrets,
+                sc.budget,
+                sc.max_steps,
+            );
+            assert_eq!(digest_first, recorded, "{tp:?}");
         }
+    }
+
+    /// The lockstep extractor finds exactly the divergence (index and
+    /// events) that [`first_divergence`] over the two full recorded
+    /// traces reports — and `None` when the full traces agree.
+    #[test]
+    fn lockstep_divergence_matches_full_trace_divergence() {
+        for (tp, secrets) in [
+            (TimeProtConfig::off(), (0u64, 11u64)),
+            (TimeProtConfig::full(), (0, 11)),
+            (TimeProtConfig::off(), (3, 3)),
+        ] {
+            let sc = scenario(tp);
+            let trace = |s| lo_trace(&sc.mcfg, &(sc.make_kcfg)(s), sc.lo, sc.budget, sc.max_steps);
+            let build = |s| System::new(sc.mcfg.clone(), (sc.make_kcfg)(s)).unwrap();
+            let (a, b) = (trace(secrets.0), trace(secrets.1));
+            let expected =
+                first_divergence(&a, &b).map(|i| (i, a.get(i).copied(), b.get(i).copied()));
+            let got = lockstep_divergence(
+                build(secrets.0),
+                build(secrets.1),
+                sc.lo,
+                sc.budget,
+                sc.max_steps,
+            );
+            assert_eq!(got, expected, "{tp:?} secrets {secrets:?}");
+        }
+    }
+
+    #[test]
+    fn compare_secret_digests_finds_first_mismatch() {
+        let runs = vec![(0u64, 5usize, 77u64), (1, 5, 77), (2, 5, 78), (3, 4, 77)];
+        assert_eq!(compare_secret_digests(&runs), Err(2));
+        let pass = vec![(0u64, 5usize, 77u64), (1, 5, 77), (9, 5, 77)];
+        assert_eq!(
+            compare_secret_digests(&pass),
+            Ok(NiVerdict::Pass {
+                secrets: 3,
+                events_compared: 15
+            })
+        );
     }
 
     #[test]

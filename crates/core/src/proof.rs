@@ -150,11 +150,12 @@ pub fn default_time_models() -> Vec<TimeModel> {
 /// This is the paranoid double-run reference (the `--replay-check`
 /// semantics): for each (model, secret), the system is run twice — once
 /// under monitoring (accumulating P/F/T and the rolling trace digest)
-/// and once plain (the NI replay baseline). The first pair's digests
-/// form the [`TransparencyCert`]; the certified single-run engine
-/// ([`crate::engine::prove_parallel`]) must produce a bit-identical
-/// report. The scenario's own `mcfg.time_model` is overridden by each
-/// model in turn.
+/// and once plain (the NI replay baseline), both fully recorded. The
+/// first pair's digests form the [`TransparencyCert`]; the digest-first
+/// certified single-run engine ([`crate::engine::prove_parallel`]) —
+/// which materialises no trace at all on its hot path — must produce a
+/// bit-identical report. The scenario's own `mcfg.time_model` is
+/// overridden by each model in turn.
 pub fn prove(scenario: &NiScenario, models: &[TimeModel]) -> ProofReport {
     assert!(!models.is_empty(), "need at least one time model");
     let aisa = check_conformance(&scenario.mcfg);
@@ -186,7 +187,7 @@ pub fn prove(scenario: &NiScenario, models: &[TimeModel]) -> ProofReport {
             // Plain replay: the NI baseline of the paranoid mode.
             let trace = lo_trace(
                 &mcfg,
-                (scenario.make_kcfg)(s),
+                &(scenario.make_kcfg)(s),
                 scenario.lo,
                 scenario.budget,
                 scenario.max_steps,

@@ -19,6 +19,11 @@
 //! the serialised machine configuration at parse time rather than
 //! shipped: `check_conformance` is deterministic, so the reconstructed
 //! report is field-for-field identical to the worker's.
+//!
+//! The `cert` record's digests come straight from each run's
+//! observation sink (`tp_hw::obs`): a digest-first worker and a
+//! recording worker serialise identical certificates, so shards proved
+//! under different observation modes still merge byte-identically.
 
 use crate::engine::{MatrixCell, MatrixReport};
 use crate::obligation::{ObligationResult, Violation, ViolationKind};

@@ -137,6 +137,19 @@ fn prove_is_bit_identical_across_all_execution_paths() {
                     &pooled,
                     &format!("seed {seed} pool×{workers}"),
                 );
+                // The forced-recording single-run path (the
+                // pre-digest-first engine) must agree bit for bit.
+                let recorded = prove_parallel_mode(
+                    &pool,
+                    &seeded_scenario(seed, tp),
+                    &models,
+                    ProofMode::CertifiedRecording,
+                );
+                assert_reports_identical(
+                    &sequential,
+                    &recorded,
+                    &format!("seed {seed} certified-recording×{workers}"),
+                );
                 // The --replay-check audit path (paranoid double-run on
                 // the pool) must agree bit for bit too.
                 let audited = prove_parallel_mode(

@@ -79,13 +79,34 @@ proptest! {
         for &secret in &sc.secrets {
             let sys = System::new(sc.mcfg.clone(), (sc.make_kcfg)(secret)).expect("system");
             let run = run_monitored(sys, sc.lo, sc.budget, sc.max_steps);
-            let replay = lo_trace(&sc.mcfg, (sc.make_kcfg)(secret), sc.lo, sc.budget, sc.max_steps);
-            prop_assert_eq!(&run.lo_trace, &replay, "seed {} secret {}", seed, secret);
+            let replay = lo_trace(&sc.mcfg, &(sc.make_kcfg)(secret), sc.lo, sc.budget, sc.max_steps);
+            let trace = run.lo_trace.as_ref().expect("recording run keeps a trace");
+            prop_assert_eq!(trace, &replay, "seed {} secret {}", seed, secret);
             prop_assert_eq!(run.lo_digest, obs_digest(&replay));
+
+            // The digest-only monitored run — the engine's trace-free
+            // hot path — carries the identical fingerprint without
+            // retaining a trace at all.
+            let mut digest_sys =
+                System::new(sc.mcfg.clone(), (sc.make_kcfg)(secret)).expect("system");
+            digest_sys.use_digest_sinks();
+            let digest_run = run_monitored(digest_sys, sc.lo, sc.budget, sc.max_steps);
+            prop_assert!(digest_run.lo_trace.is_none());
+            prop_assert_eq!(digest_run.lo_len, run.lo_len);
+            prop_assert_eq!(digest_run.lo_digest, run.lo_digest);
+            prop_assert_eq!(digest_run.switch_digest, run.switch_digest);
+            prop_assert_eq!(&digest_run.p, &run.p);
+            prop_assert_eq!(&digest_run.f, &run.f);
+            prop_assert_eq!(&digest_run.t, &run.t);
+
             let cert = certify_transparency(
                 &run, &sc.mcfg, (sc.make_kcfg)(secret), sc.lo, sc.budget, sc.max_steps,
             );
             prop_assert!(cert.transparent(), "{}", cert);
+            let digest_cert = certify_transparency(
+                &digest_run, &sc.mcfg, (sc.make_kcfg)(secret), sc.lo, sc.budget, sc.max_steps,
+            );
+            prop_assert_eq!(cert, digest_cert, "certificates must not depend on the sink");
         }
     }
 
@@ -100,7 +121,12 @@ proptest! {
         let mut perturbed = false;
         let run = run_monitored_with(sys, lo, sc.budget, sc.max_steps, |sys| {
             if !perturbed {
-                sys.kernel.domains[lo.0].obs.events.push(ObsEvent::Fault);
+                sys.kernel.domains[lo.0]
+                    .obs
+                    .observation_mut()
+                    .expect("recording sink")
+                    .events
+                    .push(ObsEvent::Fault);
                 perturbed = true;
             }
         });
@@ -126,7 +152,11 @@ fn history_rewriting_mock_monitor_is_rejected() {
     let sys = System::new(sc.mcfg.clone(), (sc.make_kcfg)(secret)).expect("system");
     let mut rewrote = false;
     let run = run_monitored_with(sys, lo, sc.budget, sc.max_steps, |sys| {
-        let events = &mut sys.kernel.domains[lo.0].obs.events;
+        let events = &mut sys.kernel.domains[lo.0]
+            .obs
+            .observation_mut()
+            .expect("recording sink")
+            .events;
         if !rewrote && !events.is_empty() {
             events[0] = ObsEvent::Fault;
             rewrote = true;
@@ -158,7 +188,11 @@ fn truncating_mock_monitor_is_rejected_without_panicking() {
     let sys = System::new(sc.mcfg.clone(), (sc.make_kcfg)(secret)).expect("system");
     let mut truncated = false;
     let run = run_monitored_with(sys, lo, sc.budget, sc.max_steps, |sys| {
-        let events = &mut sys.kernel.domains[lo.0].obs.events;
+        let events = &mut sys.kernel.domains[lo.0]
+            .obs
+            .observation_mut()
+            .expect("recording sink")
+            .events;
         if !truncated && !events.is_empty() {
             events.pop();
             truncated = true;

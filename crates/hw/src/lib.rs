@@ -57,6 +57,7 @@ pub mod interconnect;
 pub mod irq;
 pub mod machine;
 pub mod mem;
+pub mod obs;
 pub mod prefetch;
 pub mod tlb;
 pub mod types;
@@ -65,4 +66,7 @@ pub use aisa::{check_conformance, ConformanceReport, Resource, ResourceClass};
 pub use cache::{Cache, CacheConfig, ReplacementPolicy};
 pub use clock::{CostTable, HwClock, MemEvent, MemLevel, TimeModel};
 pub use machine::{AddressSpace, Machine, MachineConfig, Translation};
+pub use obs::{
+    fold_obs_event, obs_digest, DigestSink, ObsEvent, ObsSink, Observation, RecordingSink,
+};
 pub use types::{Asid, Colour, CoreId, Cycles, DomainTag, Fault, PAddr, VAddr};

@@ -1,0 +1,390 @@
+//! Observable events and pluggable observation sinks.
+//!
+//! What a domain's program can architecturally *see* — clock reads, IPC
+//! deliveries, faults, its own halting — is the raw material of every
+//! noninterference statement in this workspace: §5.2's theorem is
+//! "Lo's observation sequence is identical across all Hi secrets".
+//! The event type lives here, at the hardware layer, because it is the
+//! boundary currency between the modelled machine and every consumer
+//! above it (kernel, checkers, experiments).
+//!
+//! ## Sinks
+//!
+//! How observations are *consumed* is pluggable. The kernel emits each
+//! event exactly once, into an [`ObsSink`]; the sink decides what to
+//! keep:
+//!
+//! * [`RecordingSink`] keeps the full `Vec<ObsEvent>` log (and the
+//!   rolling digest alongside it) — the mode every witness extractor,
+//!   experiment and test inspector runs in.
+//! * [`DigestSink`] folds each event into a rolling FNV-1a digest as it
+//!   is emitted and drops it — the proof engine's hot path. A
+//!   digest-only run allocates no per-event storage at all; two runs
+//!   with equal `(len, digest)` pairs have equal logs (modulo a 2⁻⁶⁴
+//!   FNV collision, the same ground PR 4's transparency certification
+//!   already stands on), so the checkers compare fingerprints in the
+//!   hot loop and re-run with a [`RecordingSink`] only when a
+//!   divergence needs a concrete, replayable witness.
+//!
+//! Sinks cannot influence execution — the kernel hands them events and
+//! never reads them back — so which sink a system carries is invisible
+//! to the run itself. That is what makes digest-first verdicts
+//! bit-identical to recording-mode verdicts (the equivalence suites in
+//! `tp-core` pin this).
+
+use crate::types::Cycles;
+
+/// One event a domain's program can architecturally observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// Result of a `ReadClock`.
+    Clock(Cycles),
+    /// A message delivery: payload and the clock at delivery.
+    IpcRecv {
+        /// Payload.
+        msg: u64,
+        /// Receiver's clock at delivery.
+        at: Cycles,
+    },
+    /// The program's access faulted (it sees the fault kind, not the
+    /// kernel's internals).
+    Fault,
+    /// The program halted.
+    Halted,
+}
+
+/// The full observation log of one domain.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Observation {
+    /// Events in program order.
+    pub events: Vec<ObsEvent>,
+}
+
+impl Observation {
+    /// Clock values observed, in order.
+    pub fn clocks(&self) -> Vec<Cycles> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::Clock(c) => Some(*c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// IPC deliveries observed, in order.
+    pub fn ipc_recvs(&self) -> Vec<(u64, Cycles)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::IpcRecv { msg, at } => Some((*msg, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observation digests
+// ---------------------------------------------------------------------
+
+/// FNV-1a offset basis — the seed of every rolling observation digest.
+pub const OBS_DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold one `u64` into an FNV-1a state, byte by byte. Public as the
+/// digest-mixing primitive: `tp-core` uses it to poison a certificate
+/// whose rolling digest disagrees with a fresh fold of the final log.
+pub fn mix_digest(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fold one observation event into a rolling digest state. Each arm
+/// starts with a distinct tag byte so e.g. `Clock(3)` and an
+/// `IpcRecv` carrying 3 cannot collide structurally.
+pub fn fold_obs_event(h: u64, e: &ObsEvent) -> u64 {
+    match e {
+        ObsEvent::Clock(c) => mix_digest(mix_digest(h, 1), c.0),
+        ObsEvent::IpcRecv { msg, at } => mix_digest(mix_digest(mix_digest(h, 2), *msg), at.0),
+        ObsEvent::Fault => mix_digest(h, 3),
+        ObsEvent::Halted => mix_digest(h, 4),
+    }
+}
+
+/// Digest of a whole observation trace: the value a rolling
+/// [`DigestSink`] converges to, recomputable from any recorded trace.
+pub fn obs_digest(events: &[ObsEvent]) -> u64 {
+    events.iter().fold(OBS_DIGEST_SEED, fold_obs_event)
+}
+
+// ---------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------
+
+/// Where a domain's observations go as the kernel emits them.
+///
+/// The kernel calls [`ObsSink::record`] exactly once per event, in
+/// program order, and never reads events back during a run — a sink is
+/// write-only from the machine's point of view, which is why the choice
+/// of sink cannot perturb execution.
+pub trait ObsSink: core::fmt::Debug + Send + Sync {
+    /// Consume one event.
+    fn record(&mut self, e: ObsEvent);
+
+    /// Number of events recorded so far.
+    fn len(&self) -> usize;
+
+    /// Whether no event has been recorded yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rolling digest of everything recorded so far (equals
+    /// [`obs_digest`] of the event sequence).
+    fn digest(&self) -> u64;
+
+    /// The retained log, if this sink keeps one (`None` for
+    /// digest-only sinks).
+    fn observation(&self) -> Option<&Observation>;
+
+    /// Mutable access to the retained log, if any. This is the seam the
+    /// adversarial transparency suites use to mount log-tampering mock
+    /// monitors; real monitors never touch it.
+    fn observation_mut(&mut self) -> Option<&mut Observation>;
+
+    /// Take the retained event buffer out of the sink (leaving it
+    /// empty), if it keeps one — the allocation-reuse path for drivers
+    /// that stamp thousands of recording runs.
+    fn take_events(&mut self) -> Option<Vec<ObsEvent>>;
+
+    /// Clone into a fresh boxed sink (`Box<dyn ObsSink>` is `Clone`
+    /// through this).
+    fn clone_box(&self) -> Box<dyn ObsSink>;
+}
+
+impl Clone for Box<dyn ObsSink> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A sink that folds every event into the rolling FNV digest as it is
+/// emitted and keeps nothing else: the trace-free hot path.
+#[derive(Debug, Clone)]
+pub struct DigestSink {
+    digest: u64,
+    len: usize,
+}
+
+impl Default for DigestSink {
+    fn default() -> Self {
+        DigestSink {
+            digest: OBS_DIGEST_SEED,
+            len: 0,
+        }
+    }
+}
+
+impl ObsSink for DigestSink {
+    fn record(&mut self, e: ObsEvent) {
+        self.digest = fold_obs_event(self.digest, &e);
+        self.len += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    fn observation(&self) -> Option<&Observation> {
+        None
+    }
+
+    fn observation_mut(&mut self) -> Option<&mut Observation> {
+        None
+    }
+
+    fn take_events(&mut self) -> Option<Vec<ObsEvent>> {
+        None
+    }
+
+    fn clone_box(&self) -> Box<dyn ObsSink> {
+        Box::new(self.clone())
+    }
+}
+
+/// A sink that keeps the full event log (today's `Vec<ObsEvent>`) and
+/// maintains the rolling digest alongside it, so recording-mode digests
+/// are the same rolling values digest-only runs produce.
+#[derive(Debug, Clone)]
+pub struct RecordingSink {
+    obs: Observation,
+    digest: u64,
+}
+
+impl Default for RecordingSink {
+    fn default() -> Self {
+        RecordingSink {
+            obs: Observation::default(),
+            digest: OBS_DIGEST_SEED,
+        }
+    }
+}
+
+impl RecordingSink {
+    /// A recording sink that reuses `buf` as its event storage (cleared
+    /// first): the per-worker scratch-buffer path of the exhaustive
+    /// checker's recording fallback.
+    pub fn with_buffer(mut buf: Vec<ObsEvent>) -> Self {
+        buf.clear();
+        RecordingSink {
+            obs: Observation { events: buf },
+            digest: OBS_DIGEST_SEED,
+        }
+    }
+}
+
+impl ObsSink for RecordingSink {
+    fn record(&mut self, e: ObsEvent) {
+        self.digest = fold_obs_event(self.digest, &e);
+        self.obs.events.push(e);
+    }
+
+    fn len(&self) -> usize {
+        self.obs.events.len()
+    }
+
+    fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    fn observation(&self) -> Option<&Observation> {
+        Some(&self.obs)
+    }
+
+    fn observation_mut(&mut self) -> Option<&mut Observation> {
+        Some(&mut self.obs)
+    }
+
+    fn take_events(&mut self) -> Option<Vec<ObsEvent>> {
+        self.digest = OBS_DIGEST_SEED;
+        Some(core::mem::take(&mut self.obs.events))
+    }
+
+    fn clone_box(&self) -> Box<dyn ObsSink> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent::Clock(Cycles(5)),
+            ObsEvent::IpcRecv {
+                msg: 7,
+                at: Cycles(9),
+            },
+            ObsEvent::Fault,
+            ObsEvent::Clock(Cycles(11)),
+            ObsEvent::Halted,
+        ]
+    }
+
+    #[test]
+    fn observation_filters() {
+        let obs = Observation {
+            events: sample_events(),
+        };
+        assert_eq!(obs.clocks(), vec![Cycles(5), Cycles(11)]);
+        assert_eq!(obs.ipc_recvs(), vec![(7, Cycles(9))]);
+    }
+
+    /// Both sinks converge to [`obs_digest`] of the same sequence, with
+    /// matching lengths — the invariant every digest-first comparison
+    /// rests on.
+    #[test]
+    fn sinks_agree_with_the_batch_digest() {
+        let events = sample_events();
+        let mut d = DigestSink::default();
+        let mut r = RecordingSink::default();
+        for e in &events {
+            d.record(*e);
+            r.record(*e);
+        }
+        assert_eq!(d.len(), events.len());
+        assert_eq!(r.len(), events.len());
+        assert_eq!(d.digest(), obs_digest(&events));
+        assert_eq!(r.digest(), obs_digest(&events));
+        assert_eq!(r.observation().unwrap().events, events);
+        assert!(d.observation().is_none());
+        assert!(!d.is_empty() && !r.is_empty());
+    }
+
+    #[test]
+    fn empty_sinks_carry_the_seed_digest() {
+        assert_eq!(DigestSink::default().digest(), obs_digest(&[]));
+        assert_eq!(RecordingSink::default().digest(), obs_digest(&[]));
+        assert!(DigestSink::default().is_empty());
+    }
+
+    /// `with_buffer` reuses the allocation and `take_events` hands it
+    /// back — no per-run growth when cycling one scratch buffer.
+    #[test]
+    fn recording_buffer_roundtrip_reuses_the_allocation() {
+        let mut buf = Vec::with_capacity(64);
+        buf.push(ObsEvent::Fault); // stale content must be cleared
+        let cap = buf.capacity();
+        let mut sink = RecordingSink::with_buffer(buf);
+        assert!(sink.is_empty(), "with_buffer must clear stale events");
+        sink.record(ObsEvent::Halted);
+        assert_eq!(sink.digest(), obs_digest(&[ObsEvent::Halted]));
+        let back = sink.take_events().unwrap();
+        assert_eq!(back, vec![ObsEvent::Halted]);
+        assert!(back.capacity() >= cap, "allocation must be preserved");
+        assert!(sink.is_empty());
+        assert_eq!(sink.digest(), obs_digest(&[]), "take_events resets");
+    }
+
+    #[test]
+    fn boxed_sinks_clone() {
+        let mut b: Box<dyn ObsSink> = Box::new(RecordingSink::default());
+        b.record(ObsEvent::Fault);
+        let c = b.clone();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.digest(), b.digest());
+        let d: Box<dyn ObsSink> = Box::new(DigestSink::default());
+        assert_eq!(d.clone().len(), 0);
+    }
+
+    #[test]
+    fn obs_digest_distinguishes_structurally_close_traces() {
+        use ObsEvent::*;
+        let base = vec![Clock(Cycles(7)), Fault, Halted];
+        assert_eq!(obs_digest(&base), obs_digest(&base.clone()));
+        for other in [
+            vec![Clock(Cycles(8)), Fault, Halted],
+            vec![Fault, Clock(Cycles(7)), Halted],
+            vec![Clock(Cycles(7)), Fault],
+            vec![
+                IpcRecv {
+                    msg: 7,
+                    at: Cycles(0),
+                },
+                Fault,
+                Halted,
+            ],
+        ] {
+            assert_ne!(obs_digest(&base), obs_digest(&other), "{other:?}");
+        }
+    }
+}

@@ -11,9 +11,17 @@
 //! architecturally see: clock reads, IPC deliveries, faults and its own
 //! halting. Noninterference (§5.2) is stated over these logs: a Lo
 //! domain's observation sequence must be identical across all Hi secrets.
+//!
+//! Each domain's observations flow into a pluggable [`ObsSink`]
+//! (`tp_hw::obs`): a [`tp_hw::obs::RecordingSink`] keeps the full log
+//! (the default, and what every witness extractor needs), while a
+//! [`tp_hw::obs::DigestSink`] folds events into a rolling digest as
+//! they are emitted — the proof engine's trace-free hot path.
 
 use crate::program::{Program, StepFeedback};
 use crate::vspace::VSpace;
+use tp_hw::obs::RecordingSink;
+pub use tp_hw::obs::{ObsEvent, ObsSink, Observation};
 use tp_hw::types::{Asid, Colour, Cycles, DomainTag, VAddr};
 
 /// Index of a domain within the kernel.
@@ -39,56 +47,6 @@ pub enum DomState {
     },
     /// Executed `Halt`; idles for its remaining slices.
     Halted,
-}
-
-/// One event a domain's program can architecturally observe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ObsEvent {
-    /// Result of a `ReadClock`.
-    Clock(Cycles),
-    /// A message delivery: payload and the clock at delivery.
-    IpcRecv {
-        /// Payload.
-        msg: u64,
-        /// Receiver's clock at delivery.
-        at: Cycles,
-    },
-    /// The program's access faulted (it sees the fault kind, not the
-    /// kernel's internals).
-    Fault,
-    /// The program halted.
-    Halted,
-}
-
-/// The full observation log of one domain.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct Observation {
-    /// Events in program order.
-    pub events: Vec<ObsEvent>,
-}
-
-impl Observation {
-    /// Clock values observed, in order.
-    pub fn clocks(&self) -> Vec<Cycles> {
-        self.events
-            .iter()
-            .filter_map(|e| match e {
-                ObsEvent::Clock(c) => Some(*c),
-                _ => None,
-            })
-            .collect()
-    }
-
-    /// IPC deliveries observed, in order.
-    pub fn ipc_recvs(&self) -> Vec<(u64, Cycles)> {
-        self.events
-            .iter()
-            .filter_map(|e| match e {
-                ObsEvent::IpcRecv { msg, at } => Some((*msg, *at)),
-                _ => None,
-            })
-            .collect()
-    }
 }
 
 /// A security domain.
@@ -130,10 +88,16 @@ pub struct Domain {
     pub state: DomState,
     /// Feedback pending for the next program step.
     pub feedback: StepFeedback,
-    /// Everything the program has observed.
-    pub obs: Observation,
+    /// Where everything the program observes goes: a recording sink by
+    /// default, a digest-only sink on the proof engine's hot path.
+    pub obs: Box<dyn ObsSink>,
     /// Number of instructions retired (diagnostics).
     pub retired: u64,
+}
+
+/// The default sink: record the full log, like the pre-sink kernel.
+pub(crate) fn default_obs_sink() -> Box<dyn ObsSink> {
+    Box::new(RecordingSink::default())
 }
 
 impl Domain {
@@ -153,25 +117,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn observation_filters() {
-        let obs = Observation {
-            events: vec![
-                ObsEvent::Clock(Cycles(5)),
-                ObsEvent::IpcRecv {
-                    msg: 7,
-                    at: Cycles(9),
-                },
-                ObsEvent::Fault,
-                ObsEvent::Clock(Cycles(11)),
-                ObsEvent::Halted,
-            ],
-        };
-        assert_eq!(obs.clocks(), vec![Cycles(5), Cycles(11)]);
-        assert_eq!(obs.ipc_recvs(), vec![(7, Cycles(9))]);
+    fn domain_tag_matches_id() {
+        assert_eq!(DomainId(3).tag(), DomainTag(3));
     }
 
     #[test]
-    fn domain_tag_matches_id() {
-        assert_eq!(DomainId(3).tag(), DomainTag(3));
+    fn default_sink_records() {
+        let mut sink = default_obs_sink();
+        sink.record(ObsEvent::Fault);
+        assert_eq!(
+            sink.observation().expect("default sink records").events,
+            vec![ObsEvent::Fault]
+        );
     }
 }

@@ -17,7 +17,7 @@
 
 use crate::colour::{AllocError, ColourAllocator};
 use crate::config::{KernelConfig, TimeProtConfig};
-use crate::domain::{DomState, Domain, DomainId, ObsEvent, Observation};
+use crate::domain::{default_obs_sink, DomState, Domain, DomainId, ObsEvent, ObsSink, Observation};
 use crate::ipc::{Endpoint, QueuedMsg};
 use crate::kclone::{
     GlobalKernelData, KernelImage, KernelOp, SyscallKind, KDATA_FRAMES, KGLOBAL_FRAMES,
@@ -225,10 +225,18 @@ impl System {
     /// Build a system: allocate coloured memory, construct address
     /// spaces and kernel images, and install domain 0 as current.
     pub fn new(mcfg: MachineConfig, kcfg: KernelConfig) -> Result<Self, KernelError> {
+        Self::from_parts(&mcfg, &kcfg)
+    }
+
+    /// [`System::new`] over borrowed configurations. Construction only
+    /// reads them (programs are cloned in), so sweep drivers that fan a
+    /// shared `Arc<KernelConfig>` across thousands of tasks build every
+    /// system without cloning the configuration per run.
+    pub fn from_parts(mcfg: &MachineConfig, kcfg: &KernelConfig) -> Result<Self, KernelError> {
         if kcfg.domains.is_empty() {
             return Err(KernelError::NoDomains);
         }
-        let mut hw = Machine::new(mcfg);
+        let mut hw = Machine::new(mcfg.clone());
         let n = kcfg.domains.len();
 
         let llc_colours = hw.config().llc.map(|c| c.colours()).unwrap_or(1);
@@ -357,7 +365,7 @@ impl System {
                 pc: crate::layout::CODE_BASE,
                 state: DomState::Runnable,
                 feedback: StepFeedback::default(),
-                obs: Observation::default(),
+                obs: default_obs_sink(),
                 retired: 0,
             });
         }
@@ -427,9 +435,58 @@ impl System {
         dom.program = program;
     }
 
-    /// The observation log of `d`.
+    /// The observation log of `d`. Panics when `d`'s sink is
+    /// digest-only — use [`System::observation_opt`] (or the digest
+    /// accessors) on systems that might run trace-free.
     pub fn observation(&self, d: DomainId) -> &Observation {
-        &self.kernel.domains[d.0].obs
+        self.observation_opt(d)
+            .expect("observation() needs a recording sink; this system runs digest-only")
+    }
+
+    /// The observation log of `d`, if its sink retains one.
+    pub fn observation_opt(&self, d: DomainId) -> Option<&Observation> {
+        self.kernel.domains[d.0].obs.observation()
+    }
+
+    /// Number of events `d` has observed (works under any sink).
+    pub fn obs_len(&self, d: DomainId) -> usize {
+        self.kernel.domains[d.0].obs.len()
+    }
+
+    /// Rolling digest of `d`'s observation log (works under any sink;
+    /// equals `obs_digest` of the recorded events when recording).
+    pub fn obs_digest(&self, d: DomainId) -> u64 {
+        self.kernel.domains[d.0].obs.digest()
+    }
+
+    /// Take `d`'s recorded event buffer out of the system (leaving the
+    /// sink empty), if its sink retains one — the allocation-reuse exit
+    /// of a recording run that is about to be dropped.
+    pub fn take_observation(&mut self, d: DomainId) -> Option<Vec<ObsEvent>> {
+        self.kernel.domains[d.0].obs.take_events()
+    }
+
+    /// Replace domain `d`'s observation sink. Only sound before the
+    /// domain has observed anything: events already in the old sink are
+    /// discarded, so swapping mid-run would rewrite history.
+    pub fn set_obs_sink(&mut self, d: DomainId, sink: Box<dyn ObsSink>) {
+        let dom = &mut self.kernel.domains[d.0];
+        debug_assert!(
+            dom.obs.is_empty(),
+            "set_obs_sink is only sound before the domain has observed anything"
+        );
+        dom.obs = sink;
+    }
+
+    /// Switch every domain to a digest-only sink: the trace-free proof
+    /// hot path. Only sound on a pristine system (see
+    /// [`System::set_obs_sink`]); sinks never influence execution, so a
+    /// digest-only run's machine behaviour is bit-identical to a
+    /// recording run's.
+    pub fn use_digest_sinks(&mut self) {
+        for i in 0..self.kernel.domains.len() {
+            self.set_obs_sink(DomainId(i), Box::new(tp_hw::obs::DigestSink::default()));
+        }
     }
 
     /// Whether every domain has halted.
@@ -539,7 +596,7 @@ impl System {
         let dom = &mut self.kernel.domains[d.0];
         dom.state = DomState::Runnable;
         dom.feedback.ipc = Some(IpcDelivery { msg: m.msg, at });
-        dom.obs.events.push(ObsEvent::IpcRecv { msg: m.msg, at });
+        dom.obs.record(ObsEvent::IpcRecv { msg: m.msg, at });
     }
 
     /// Charge the kernel's deterministic footprint for `op`, using the
@@ -574,8 +631,8 @@ impl System {
             let tag = dom.id.tag();
             if let Err(_f) = self.hw.fetch_virt(core, asid, pc, &dom.vspace, tag) {
                 dom.state = DomState::Halted;
-                dom.obs.events.push(ObsEvent::Fault);
-                dom.obs.events.push(ObsEvent::Halted);
+                dom.obs.record(ObsEvent::Fault);
+                dom.obs.record(ObsEvent::Halted);
                 return StepEvent::Fault { domain: d };
             }
         }
@@ -616,7 +673,7 @@ impl System {
                 let dom = &mut self.kernel.domains[d.0];
                 if let Err(f) = res {
                     dom.feedback.fault = Some(f);
-                    dom.obs.events.push(ObsEvent::Fault);
+                    dom.obs.record(ObsEvent::Fault);
                     bump_pc(dom);
                     dom.retired += 1;
                     return StepEvent::Fault { domain: d };
@@ -648,7 +705,7 @@ impl System {
                 let t = self.hw.read_clock(core);
                 let dom = &mut self.kernel.domains[d.0];
                 dom.feedback.clock = Some(t);
-                dom.obs.events.push(ObsEvent::Clock(t));
+                dom.obs.record(ObsEvent::Clock(t));
                 bump_pc(dom);
                 dom.retired += 1;
                 StepEvent::Instr { domain: d }
@@ -656,7 +713,7 @@ impl System {
             Instr::Halt => {
                 let dom = &mut self.kernel.domains[d.0];
                 dom.state = DomState::Halted;
-                dom.obs.events.push(ObsEvent::Halted);
+                dom.obs.record(ObsEvent::Halted);
                 StepEvent::Instr { domain: d }
             }
             Instr::Syscall(req) => {
@@ -976,6 +1033,14 @@ impl SystemTemplate {
         Ok(SystemTemplate {
             pristine: System::new(mcfg, kcfg)?,
         })
+    }
+
+    /// Convert the template's pristine system to digest-only sinks, so
+    /// every stamped copy starts trace-free without a per-run sink
+    /// swap — the exhaustive checker's hot-path template.
+    pub fn with_digest_sinks(mut self) -> Self {
+        self.pristine.use_digest_sinks();
+        self
     }
 
     /// A fresh system, identical to one built by [`System::new`] with
