@@ -12,18 +12,28 @@
 //!   `ExhaustiveRunner` template exists for.
 //!
 //! ```sh
-//! bench [--smoke] [--threads N] [--out FILE]
+//! bench [--smoke] [--threads N] [--out FILE] [--check] [--band F]
 //! ```
 //!
 //! `--smoke` shrinks both workloads to CI size (seconds, not minutes)
 //! — the numbers still land in the JSON, flagged `"smoke": true`.
-//! Output goes to `BENCH_matrix.json` (or `--out`): one self-contained
-//! JSON object per run, `cells_per_sec` / `ns_per_step` /
-//! `programs_per_sec` being the fields the trajectory tracks.
+//! Output goes to `BENCH_matrix.json` (or `--out`): a
+//! `tp-bench/matrix-v2` trajectory — an append-only `runs` history,
+//! each entry tagged with host metadata (threads, CPUs, git rev,
+//! timestamp). A bare v1 snapshot parses too and migrates on the next
+//! write.
+//!
+//! `--check` is the CI trend gate: instead of appending, the fresh
+//! measurement is compared against the best *comparable* committed run
+//! (same thread count, CPU count and workload size) and the process
+//! exits nonzero on a regression beyond the band (`--band`, default
+//! [`trajectory::DEFAULT_BAND`]). A host with no comparable history
+//! passes vacuously with a note.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use tp_bench::trajectory::{self, check_trend, RunRecord, Trajectory, TrendVerdict};
 use tp_bench::{canonical_machine, canonical_scenario, time_iters};
 use tp_core::engine::{check_exhaustive_parallel_on, ProofMode, ScenarioMatrix};
 use tp_core::exhaustive::{space_size, ExhaustiveConfig};
@@ -34,6 +44,8 @@ struct Args {
     smoke: bool,
     threads: Option<usize>,
     out: String,
+    check: bool,
+    band: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,11 +53,14 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         threads: None,
         out: "BENCH_matrix.json".to_string(),
+        check: false,
+        band: trajectory::DEFAULT_BAND,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.smoke = true,
+            "--check" => args.check = true,
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --threads {v:?}"))?;
@@ -54,11 +69,38 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.threads = Some(n);
             }
+            "--band" => {
+                let v = it.next().ok_or("--band needs a value")?;
+                let b: f64 = v.parse().map_err(|_| format!("bad --band {v:?}"))?;
+                if !(b.is_finite() && b > 0.0) {
+                    return Err("--band must be a positive fraction".into());
+                }
+                args.band = b;
+            }
             "--out" => args.out = it.next().ok_or("--out needs a value")?,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     Ok(args)
+}
+
+/// Host metadata for the run entry: what the trend gate keys
+/// comparability on, plus provenance (git rev, timestamp).
+fn host_info() -> (usize, String, u64) {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    (cpus, git_rev, unix_time)
 }
 
 /// The benched E11 sweep: canonical machine, all ablations, the first
@@ -120,11 +162,17 @@ fn main() {
     let programs_per_sec = programs as f64 / secs(t_exh);
     let digest_over_recording = secs(t_digest) / secs(t_recording);
 
+    let (cpus, git_rev, unix_time) = host_info();
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"schema\": \"tp-bench/matrix-v1\",").unwrap();
     writeln!(json, "  \"smoke\": {},", args.smoke).unwrap();
     writeln!(json, "  \"threads\": {threads},").unwrap();
+    writeln!(json, "  \"host\": {{").unwrap();
+    writeln!(json, "    \"threads\": {threads},").unwrap();
+    writeln!(json, "    \"cpus\": {cpus},").unwrap();
+    writeln!(json, "    \"git_rev\": \"{git_rev}\",").unwrap();
+    writeln!(json, "    \"unix_time\": {unix_time}").unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"e11\": {{").unwrap();
     writeln!(json, "    \"cells\": {cells},").unwrap();
     writeln!(json, "    \"models\": {models},").unwrap();
@@ -147,17 +195,76 @@ fn main() {
     writeln!(json, "  }}").unwrap();
     writeln!(json, "}}").unwrap();
 
-    if let Err(e) = std::fs::write(&args.out, &json) {
-        eprintln!("bench: cannot write {}: {e}", args.out);
-        std::process::exit(1);
-    }
-    eprintln!("wrote {}", args.out);
-    print!("{json}");
-
     // A bench that measured a broken engine would poison the
-    // trajectory: fail loudly if the sweep stopped proving.
+    // trajectory: fail loudly before touching the file.
     if !report.full_protection_proved() {
         eprintln!("bench: full-protection cells no longer prove — numbers discarded");
         std::process::exit(1);
     }
+
+    let fresh = match trajectory::Json::parse(&json).and_then(RunRecord::from_json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench: internal error building run record: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Load whatever history the output file already holds (v1 snapshots
+    // migrate to a one-entry history).
+    let history = match std::fs::read_to_string(&args.out) {
+        Ok(text) => match Trajectory::parse(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench: cannot parse {}: {e}", args.out);
+                std::process::exit(1);
+            }
+        },
+        Err(_) => Trajectory::default(),
+    };
+
+    if args.check {
+        // Gate-only mode: compare, report, leave the file untouched.
+        match check_trend(&history.runs, &fresh, args.band) {
+            TrendVerdict::Pass {
+                baseline_ns_per_step,
+            } => {
+                eprintln!(
+                    "trend gate: PASS — {ns_per_step:.3} ns/step vs best comparable \
+                     {baseline_ns_per_step:.3} (band {:.0}%)",
+                    args.band * 100.0
+                );
+            }
+            TrendVerdict::NoComparableBaseline => {
+                eprintln!(
+                    "trend gate: no comparable run in {} (threads={threads}, cpus={cpus}, \
+                     smoke={}) — passing vacuously",
+                    args.out, args.smoke
+                );
+            }
+            TrendVerdict::Regression {
+                baseline_ns_per_step,
+                fresh_ns_per_step,
+                limit_ns_per_step,
+            } => {
+                eprintln!(
+                    "trend gate: REGRESSION — {fresh_ns_per_step:.3} ns/step exceeds \
+                     {limit_ns_per_step:.3} (best comparable {baseline_ns_per_step:.3} \
+                     + {:.0}% band)",
+                    args.band * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut history = history;
+    history.push(fresh);
+    if let Err(e) = std::fs::write(&args.out, history.render()) {
+        eprintln!("bench: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} ({} runs)", args.out, history.runs.len());
+    print!("{json}");
 }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod trajectory;
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,108 @@
+//! End-to-end trend gate: run the real `bench` binary in `--check`
+//! mode against synthetic committed trajectories and require the CI
+//! verdicts — a deliberately slowed history entry must make a real run
+//! pass, an impossibly fast one must make it FAIL, and a foreign host
+//! must pass vacuously. This is the acceptance check that a genuine
+//! perf regression cannot land: the gate is exercised through the same
+//! binary invocation CI uses, not a unit shim.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use tp_bench::trajectory::Json;
+
+/// A v2 trajectory with one smoke run measured on `cpus` CPUs with one
+/// worker thread, at the given speed.
+fn synthetic_trajectory(ns_per_step: f64, programs_per_sec: f64, cpus: usize) -> String {
+    let run = Json::Obj(vec![
+        ("smoke".into(), Json::Bool(true)),
+        ("threads".into(), Json::Num(1.0)),
+        (
+            "host".into(),
+            Json::Obj(vec![
+                ("threads".into(), Json::Num(1.0)),
+                ("cpus".into(), Json::Num(cpus as f64)),
+                ("git_rev".into(), Json::Str("0000000".into())),
+                ("unix_time".into(), Json::Num(1_700_000_000.0)),
+            ]),
+        ),
+        (
+            "e11".into(),
+            Json::Obj(vec![("ns_per_step".into(), Json::Num(ns_per_step))]),
+        ),
+        (
+            "exhaustive".into(),
+            Json::Obj(vec![(
+                "programs_per_sec".into(),
+                Json::Num(programs_per_sec),
+            )]),
+        ),
+    ]);
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"tp-bench/matrix-v2\",\n  \"runs\": ");
+    Json::Arr(vec![run]).render(&mut out, 1);
+    out.push_str("\n}\n");
+    out
+}
+
+/// Run `bench --smoke --threads 1 --check` against `trajectory`,
+/// returning (success, stderr, file contents afterwards).
+fn run_check(name: &str, trajectory: &str) -> (bool, String, String) {
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "tp_trend_gate_{}_{}.json",
+        name,
+        std::process::id()
+    ));
+    std::fs::write(&path, trajectory).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_bench"))
+        .args(["--smoke", "--threads", "1", "--check", "--out"])
+        .arg(&path)
+        .output()
+        .expect("bench binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    let after = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    (out.status.success(), stderr, after)
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[test]
+fn slowed_history_lets_a_real_run_pass() {
+    // History claims 1e9 ns/step (a deliberately slowed entry): any
+    // real measurement is far inside the band.
+    let traj = synthetic_trajectory(1e9, 1e-3, host_cpus());
+    let (ok, stderr, after) = run_check("pass", &traj);
+    assert!(ok, "gate should pass against a slow baseline:\n{stderr}");
+    assert!(stderr.contains("trend gate: PASS"), "{stderr}");
+    assert_eq!(after, traj, "--check must not rewrite the trajectory");
+}
+
+#[test]
+fn fast_history_fails_a_real_run() {
+    // History claims 0.001 ns/step: every real run is a "regression"
+    // beyond any sane band — CI must go red.
+    let traj = synthetic_trajectory(1e-3, 1e12, host_cpus());
+    let (ok, stderr, after) = run_check("fail", &traj);
+    assert!(
+        !ok,
+        "gate must fail against an impossible baseline:\n{stderr}"
+    );
+    assert!(stderr.contains("trend gate: REGRESSION"), "{stderr}");
+    assert_eq!(
+        after, traj,
+        "a failing --check must not rewrite the trajectory"
+    );
+}
+
+#[test]
+fn foreign_host_passes_vacuously() {
+    // Same speeds as the failing case, but recorded on a host with a
+    // different CPU count: incomparable, so the gate stands down.
+    let traj = synthetic_trajectory(1e-3, 1e12, host_cpus() + 1);
+    let (ok, stderr, _) = run_check("foreign", &traj);
+    assert!(ok, "incomparable history must pass vacuously:\n{stderr}");
+    assert!(stderr.contains("passing vacuously"), "{stderr}");
+}

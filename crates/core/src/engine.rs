@@ -41,8 +41,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::exhaustive::{
-    recorded_leak, space_size, word_for_index, ExhaustiveConfig, ExhaustiveMode, ExhaustiveRunner,
-    ExhaustiveVerdict,
+    recorded_leak, space_size, word_for_index_into, ExhaustiveConfig, ExhaustiveMode,
+    ExhaustiveRunner, ExhaustiveVerdict,
 };
 use crate::noninterference::{
     compare_secret_digests, compare_secret_runs, first_divergence, lo_digest_len, lo_trace,
@@ -599,21 +599,26 @@ fn scan_exhaustive_block(
     start: usize,
     end: usize,
 ) -> Option<ExhCandidate> {
+    // One word buffer for the whole block: the scan only materialises an
+    // owned copy on the rare leak-candidate path.
+    let mut word = Vec::new();
     for index in start..=end {
         if index > best.load(Ordering::Relaxed) {
             return None;
         }
-        let word =
-            word_for_index(alphabet, max_len, index).expect("index is within the enumerated space");
+        assert!(
+            word_for_index_into(alphabet, max_len, index, &mut word),
+            "index is within the enumerated space"
+        );
         let candidate = match &baseline.trace {
             None => (runner.run_digest(&word) != baseline.fingerprint)
-                .then(|| ExhCandidate::from_digest_hit(runner, index, word)),
+                .then(|| ExhCandidate::from_digest_hit(runner, index, word.clone())),
             Some(base) => EXH_SCRATCH.with(|scratch| {
                 let buf = &mut *scratch.borrow_mut();
                 runner.run_recorded_into(&word, buf);
                 first_divergence(base, buf).map(|div| ExhCandidate {
                     index,
-                    witness: word,
+                    witness: word.clone(),
                     divergence: div,
                     baseline_event: base.get(div).copied(),
                     witness_event: buf.get(div).copied(),

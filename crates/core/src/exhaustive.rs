@@ -203,10 +203,7 @@ impl ExhaustiveRunner {
     /// recording mode and of divergence witness extraction.
     pub fn run_recorded_into(&self, hi: &[Instr], buf: &mut Vec<ObsEvent>) {
         let mut sys = self.stamp(hi);
-        sys.set_obs_sink(
-            DomainId(1),
-            Box::new(RecordingSink::with_buffer(std::mem::take(buf))),
-        );
+        sys.set_obs_sink(DomainId(1), RecordingSink::with_buffer(std::mem::take(buf)));
         sys.run_cycles(self.budget, self.max_steps);
         *buf = sys
             .take_observation(DomainId(1))
@@ -226,7 +223,7 @@ impl ExhaustiveRunner {
     /// lockstep witness extractor drives step by step.
     fn recording_system(&self, hi: &[Instr]) -> tp_kernel::kernel::System {
         let mut sys = self.stamp(hi);
-        sys.set_obs_sink(DomainId(1), Box::new(RecordingSink::default()));
+        sys.set_obs_sink(DomainId(1), RecordingSink::default());
         sys
     }
 }
@@ -254,25 +251,40 @@ pub fn space_size(a: usize, max_len: usize) -> usize {
 /// it by index ranges — so a `Leak { program_index }` means the same
 /// program under either driver.
 pub fn word_for_index(alphabet: &[Instr], max_len: usize, index: usize) -> Option<Vec<Instr>> {
+    let mut word = Vec::new();
+    word_for_index_into(alphabet, max_len, index, &mut word).then_some(word)
+}
+
+/// [`word_for_index`] written into a caller-supplied buffer (cleared
+/// first) — the per-worker scratch path of the sweep engine, which
+/// enumerates tens of thousands of words per sweep without an
+/// allocation per word. Returns whether `index` names a word.
+pub fn word_for_index_into(
+    alphabet: &[Instr],
+    max_len: usize,
+    index: usize,
+    word: &mut Vec<Instr>,
+) -> bool {
+    word.clear();
     let a = alphabet.len();
     if index == 0 {
-        return None;
+        return false;
     }
     let mut offset = index - 1;
     for len in 1..=max_len {
         let block = a.pow(len as u32);
         if offset < block {
-            let mut word = Vec::with_capacity(len);
+            word.reserve(len);
             let mut c = offset;
             for _ in 0..len {
                 word.push(alphabet[c % a]);
                 c /= a;
             }
-            return Some(word);
+            return true;
         }
         offset -= block;
     }
-    None
+    false
 }
 
 /// How an exhaustive check executes its runs. Both modes return
@@ -331,12 +343,15 @@ pub fn check_exhaustive(cfg: &ExhaustiveConfig) -> ExhaustiveVerdict {
 pub fn check_exhaustive_mode(cfg: &ExhaustiveConfig, mode: ExhaustiveMode) -> ExhaustiveVerdict {
     let runner = ExhaustiveRunner::new(cfg);
     let total = space_size(cfg.alphabet.len(), cfg.max_len);
+    let mut word = Vec::new();
     match mode {
         ExhaustiveMode::DigestFirst => {
             let baseline = runner.run_digest(&[]);
             for index in 1..=total {
-                let word = word_for_index(&cfg.alphabet, cfg.max_len, index)
-                    .expect("index is within the enumerated space");
+                assert!(
+                    word_for_index_into(&cfg.alphabet, cfg.max_len, index, &mut word),
+                    "index is within the enumerated space"
+                );
                 if runner.run_digest(&word) != baseline {
                     return recorded_leak(&runner, index, word);
                 }
@@ -346,8 +361,10 @@ pub fn check_exhaustive_mode(cfg: &ExhaustiveConfig, mode: ExhaustiveMode) -> Ex
             let baseline = runner.run(&[]);
             let mut buf = Vec::new();
             for index in 1..=total {
-                let word = word_for_index(&cfg.alphabet, cfg.max_len, index)
-                    .expect("index is within the enumerated space");
+                assert!(
+                    word_for_index_into(&cfg.alphabet, cfg.max_len, index, &mut word),
+                    "index is within the enumerated space"
+                );
                 runner.run_recorded_into(&word, &mut buf);
                 if let Some(div) = crate::noninterference::first_divergence(&baseline, &buf) {
                     return ExhaustiveVerdict::Leak {

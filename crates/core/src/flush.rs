@@ -24,6 +24,84 @@ pub fn canonical_core_digest(sys: &System) -> u64 {
     fresh.cores[sys.kernel.core.0].microarch_digest()
 }
 
+/// The canonical post-flush core state, kept around by monitors so the
+/// per-switch reset check can be a structural comparison instead of a
+/// full state hash. The digest is the hash of exactly that state, so
+/// `state == reference.core` implies the core's digest *is*
+/// `reference.digest` — no hashing needed on the match path.
+pub struct FlushReference {
+    /// A pristine core of the monitored machine's configuration.
+    pub core: tp_hw::machine::Core,
+    /// Its microarchitectural digest ([`canonical_core_digest`]).
+    pub digest: u64,
+}
+
+impl FlushReference {
+    /// Build the reference for `sys`'s scheduled core.
+    pub fn of(sys: &System) -> Self {
+        let fresh = Machine::new(sys.hw.config().clone());
+        let core = fresh.cores[sys.kernel.core.0].clone();
+        let digest = core.microarch_digest();
+        FlushReference { core, digest }
+    }
+
+    /// The scheduled core's current microarch digest, reusing the
+    /// precomputed canonical value when the state matches the reference
+    /// — bit-identical to calling [`tp_hw::machine::Core::microarch_digest`]
+    /// directly, because equal states hash equally.
+    pub fn digest_of(&self, sys: &System) -> u64 {
+        let core = &sys.hw.cores[sys.kernel.core.0];
+        if core.microarch_eq(&self.core) {
+            self.digest
+        } else {
+            core.microarch_digest()
+        }
+    }
+}
+
+/// [`check_flush_at_switch`] against a prebuilt [`FlushReference`]: the
+/// hot-loop variant. On the expected path (flush held) this is one
+/// structural comparison; the digest is only computed to report a
+/// violation.
+pub fn check_flush_at_switch_ref(sys: &System, reference: &FlushReference) -> ObligationResult {
+    let mut r = ObligationResult::new("F");
+    if !sys.kernel.tp.flush_on_switch {
+        return r; // not claimed; NI will expose the residue channel
+    }
+    r.checked_points += 1;
+    let core = &sys.hw.cores[sys.kernel.core.0];
+    if core.microarch_eq(&reference.core) {
+        // Equal state means equal digest and zero residue lines: both
+        // violation conditions below are impossible by construction.
+        return r;
+    }
+    let digest = core.microarch_digest();
+    if digest != reference.digest {
+        r.violate(
+            ViolationKind::FlushResidue,
+            sys.now(),
+            format!(
+                "post-switch core digest {digest:#x} != canonical {:#x}",
+                reference.digest
+            ),
+        );
+    }
+    let residue = core
+        .l1d
+        .iter_lines()
+        .chain(core.l1i.iter_lines())
+        .filter(|(_, _, l)| l.valid)
+        .count();
+    if residue != 0 {
+        r.violate(
+            ViolationKind::FlushResidue,
+            sys.now(),
+            format!("{residue} valid L1 lines survived the switch flush"),
+        );
+    }
+    r
+}
+
 /// Check the reset-state property on `sys` *right now* — callers invoke
 /// this immediately after observing a `Switched` event.
 pub fn check_flush_at_switch(sys: &System, canonical: u64) -> ObligationResult {

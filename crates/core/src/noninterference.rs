@@ -45,7 +45,7 @@
 //! engine reuse the monitored run's Lo trace as the NI baseline and
 //! drop the second replay per (model, secret) cell.
 
-use crate::flush::{canonical_core_digest, check_flush_at_switch};
+use crate::flush::FlushReference;
 use crate::obligation::ObligationResult;
 use crate::padding::check_padding;
 use crate::partition::check_partition;
@@ -256,7 +256,12 @@ pub fn run_monitored_with(
     mut monitor: impl FnMut(&mut System),
 ) -> MonitoredRun {
     const P_CHECK_INTERVAL: usize = 2048;
-    let canonical = canonical_core_digest(&sys);
+    // The reset reference makes the per-switch F check and the
+    // switch-digest chain structural comparisons on the expected path:
+    // a flushed core *equals* the pristine core, whose digest is
+    // precomputed — hashing the full core state per switch is the cold
+    // path, taken only when a flush left residue.
+    let reference = FlushReference::of(&sys);
     let mut p = ObligationResult::new("P");
     let mut f = ObligationResult::new("F");
     let mut steps = 0;
@@ -268,12 +273,9 @@ pub fn run_monitored_with(
         steps += 1;
         if let StepEvent::Switched { .. } = ev {
             monitor(&mut sys);
-            f.merge(check_flush_at_switch(&sys, canonical));
+            f.merge(crate::flush::check_flush_at_switch_ref(&sys, &reference));
             p.merge(check_partition(&sys));
-            switch_digest = mix_digest(
-                switch_digest,
-                sys.hw.cores[sys.kernel.core.0].microarch_digest(),
-            );
+            switch_digest = mix_digest(switch_digest, reference.digest_of(&sys));
         } else if steps % P_CHECK_INTERVAL == 0 {
             p.merge(check_partition(&sys));
         }

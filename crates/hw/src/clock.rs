@@ -266,6 +266,14 @@ impl TimeModel {
         }
     }
 
+    /// Whether any cost this model produces can depend on hidden local
+    /// state ([`MemEvent::local_state`]). Pure table models never read
+    /// it, so the machine can skip digesting the indexed cache set on
+    /// their behalf — the hottest per-access computation otherwise.
+    pub fn consults_hidden_state(&self) -> bool {
+        self.jitter_bound() > 0
+    }
+
     fn perturb(&self, key: u64) -> u64 {
         match self {
             TimeModel::Table(_) => 0,

@@ -65,8 +65,9 @@ pub mod types;
 pub use aisa::{check_conformance, ConformanceReport, Resource, ResourceClass};
 pub use cache::{Cache, CacheConfig, ReplacementPolicy};
 pub use clock::{CostTable, HwClock, MemEvent, MemLevel, TimeModel};
-pub use machine::{AddressSpace, Machine, MachineConfig, Translation};
+pub use machine::{AddressSpace, Machine, MachineConfig, Translation, WalkFootprint};
 pub use obs::{
-    fold_obs_event, obs_digest, DigestSink, ObsEvent, ObsSink, Observation, RecordingSink,
+    fold_obs_event, obs_digest, DigestSink, NullSink, ObsEvent, ObsSink, ObsSinkKind, Observation,
+    RecordingSink,
 };
 pub use types::{Asid, Colour, CoreId, Cycles, DomainTag, Fault, PAddr, VAddr};

@@ -45,7 +45,55 @@ pub trait AddressSpace {
 
     /// Physical addresses touched by the hardware page-table walker for
     /// `vpn`, outermost level first.
-    fn walk_footprint(&self, vpn: u64) -> Vec<PAddr>;
+    fn walk_footprint(&self, vpn: u64) -> WalkFootprint;
+}
+
+/// The physical addresses one page-table walk touches, outermost level
+/// first — held inline (at most one entry per level), so a TLB miss
+/// charges the walker's traffic without allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalkFootprint {
+    entries: [PAddr; Self::MAX_LEVELS],
+    len: u8,
+}
+
+impl WalkFootprint {
+    /// Deepest walk the modelled two-level tables can produce.
+    pub const MAX_LEVELS: usize = 2;
+
+    /// Append one level's entry address.
+    ///
+    /// # Panics
+    /// Panics past [`WalkFootprint::MAX_LEVELS`] entries.
+    pub fn push(&mut self, p: PAddr) {
+        self.entries[self.len as usize] = p;
+        self.len += 1;
+    }
+
+    /// The entries walked so far, outermost first.
+    pub fn as_slice(&self) -> &[PAddr] {
+        &self.entries[..self.len as usize]
+    }
+
+    /// Number of levels walked.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no level was walked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl FromIterator<PAddr> for WalkFootprint {
+    fn from_iter<I: IntoIterator<Item = PAddr>>(iter: I) -> Self {
+        let mut fp = WalkFootprint::default();
+        for p in iter {
+            fp.push(p);
+        }
+        fp
+    }
 }
 
 /// Per-core microarchitectural state.
@@ -94,6 +142,21 @@ impl Core {
         h = mix2(h, self.tlb.state_digest());
         h = mix2(h, self.bp.state_digest());
         mix2(h, self.pf.state_digest())
+    }
+
+    /// Structural equality of the state [`Core::microarch_digest`]
+    /// covers (everything core-local except the architectural clock and
+    /// core id). Strictly stronger than digest equality — no collisions
+    /// — and much cheaper than hashing: field compares vectorise, hash
+    /// chains serialise. Monitors use this as the fast path and fall
+    /// back to the digest only on mismatch.
+    pub fn microarch_eq(&self, other: &Core) -> bool {
+        self.l1i == other.l1i
+            && self.l1d == other.l1d
+            && self.l2 == other.l2
+            && self.tlb == other.tlb
+            && self.bp == other.bp
+            && self.pf == other.pf
     }
 }
 
@@ -229,6 +292,9 @@ pub struct Machine {
     pub irq: IrqController,
     /// Lockstep round counter used by the interconnect window.
     round: u64,
+    /// Scratch for prefetch fill candidates, kept empty between calls
+    /// so derived equality ignores it in practice.
+    pf_fills: Vec<PAddr>,
 }
 
 impl Machine {
@@ -248,6 +314,7 @@ impl Machine {
             mem: PhysMem::new(cfg.mem_frames),
             irq: IrqController::new(),
             round: 0,
+            pf_fills: Vec::new(),
             cfg,
         }
     }
@@ -338,7 +405,7 @@ impl Machine {
                     let footprint = asp.walk_footprint(vaddr.vpn());
                     let levels = footprint.len() as u8;
                     // The walker's accesses go through the data caches.
-                    for pa in &footprint {
+                    for pa in footprint.as_slice() {
                         self.charge_phys_line(core, *pa, false, false, owner)?;
                     }
                     self.cores[core.0].tlb.insert(TlbEntry {
@@ -415,13 +482,18 @@ impl Machine {
             // accessed page to model a next-line prefetcher. The kernel
             // layer feeds PC-keyed streams via `observe_prefetch_pc`.
             let pseudo_pc = VAddr(paddr.0 & !0xfff);
-            let fills = self.cores[core.0].pf.observe(pseudo_pc, paddr, owner);
+            let mut fills = std::mem::take(&mut self.pf_fills);
+            self.cores[core.0]
+                .pf
+                .observe_into(pseudo_pc, paddr, owner, &mut fills);
             for f in fills.iter().take(4) {
                 if self.mem.contains(*f) {
                     self.cores[core.0].l1d.prefetch_fill(*f, owner);
                     prefetches += 1;
                 }
             }
+            fills.clear();
+            self.pf_fills = fills;
         }
 
         let ev = MemEvent { prefetches, ..ev };
@@ -462,11 +534,18 @@ impl Machine {
         owner: DomainTag,
     ) -> (MemEvent, Cycles) {
         let round = self.round;
+        let wants_local_state = self.cfg.time_model.consults_hidden_state();
         let c = &mut self.cores[core.0];
         let l1 = if is_fetch { &mut c.l1i } else { &mut c.l1d };
 
         // Record the local state the time model may consult (Case 1).
-        let local_state = l1.set_digest(l1.set_of(paddr));
+        // Pure table models never read it, so don't digest the set on
+        // their behalf — this is the hottest path in the simulator.
+        let local_state = if wants_local_state {
+            l1.set_digest(l1.set_of(paddr))
+        } else {
+            0
+        };
 
         let l1_out = l1.access(paddr, write, owner);
         let mut writeback = l1_out.writeback;
@@ -670,11 +749,13 @@ mod tests {
         fn translate(&self, vpn: u64) -> Option<Translation> {
             self.map.get(&vpn).copied()
         }
-        fn walk_footprint(&self, vpn: u64) -> Vec<PAddr> {
-            vec![
+        fn walk_footprint(&self, vpn: u64) -> WalkFootprint {
+            [
                 PAddr::from_pfn(self.walk_base, (vpn % 512) * 8 % 4096),
                 PAddr::from_pfn(self.walk_base + 1, (vpn % 512) * 8 % 4096),
             ]
+            .into_iter()
+            .collect()
         }
     }
 

@@ -135,6 +135,16 @@ pub trait ObsSink: core::fmt::Debug + Send + Sync {
     /// Consume one event.
     fn record(&mut self, e: ObsEvent);
 
+    /// Consume a batch of events, in order — semantically identical to
+    /// calling [`ObsSink::record`] once per event (the batched-folding
+    /// proptests pin this), but one sink call per *step* instead of per
+    /// event on the kernel's emit path.
+    fn record_batch(&mut self, events: &[ObsEvent]) {
+        for e in events {
+            self.record(*e);
+        }
+    }
+
     /// Number of events recorded so far.
     fn len(&self) -> usize;
 
@@ -283,6 +293,205 @@ impl ObsSink for RecordingSink {
     }
 }
 
+/// A sink that discards everything: no log, no digest, `len` stays 0.
+///
+/// Only sound for domains whose observations are never consulted (a Hi
+/// domain in a sweep that fingerprints Lo alone) — installing it on an
+/// observer domain would erase the very evidence the checkers compare.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {
+    fn record(&mut self, _e: ObsEvent) {}
+
+    fn record_batch(&mut self, _events: &[ObsEvent]) {}
+
+    fn len(&self) -> usize {
+        0
+    }
+
+    fn digest(&self) -> u64 {
+        OBS_DIGEST_SEED
+    }
+
+    fn observation(&self) -> Option<&Observation> {
+        None
+    }
+
+    fn observation_mut(&mut self) -> Option<&mut Observation> {
+        None
+    }
+
+    fn take_events(&mut self) -> Option<Vec<ObsEvent>> {
+        None
+    }
+
+    fn clone_box(&self) -> Box<dyn ObsSink> {
+        Box::new(*self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static dispatch
+// ---------------------------------------------------------------------
+
+/// The closed set of sinks the kernel's emit path dispatches over —
+/// statically, by one enum match, instead of a `Box<dyn ObsSink>`
+/// virtual call per event.
+///
+/// Every domain carries an `ObsSinkKind`; the variant is chosen once
+/// per run (recording by default, [`DigestSink`] via
+/// `System::use_digest_sinks`, [`NullSink`] only by explicit opt-in)
+/// and never changes mid-run, so the match predicts perfectly in the
+/// hot loop and the sink methods inline into the kernel's step.
+/// Open-ended sink implementations remain possible through the
+/// [`ObsSink`] trait (which `ObsSinkKind` itself implements); the enum
+/// is the monomorphic fast path for the three shipped sinks.
+#[derive(Debug, Clone)]
+pub enum ObsSinkKind {
+    /// Full log + rolling digest ([`RecordingSink`]).
+    Recording(RecordingSink),
+    /// Rolling digest only ([`DigestSink`]) — the proof hot path.
+    Digest(DigestSink),
+    /// Discard everything ([`NullSink`]).
+    Null(NullSink),
+}
+
+impl Default for ObsSinkKind {
+    fn default() -> Self {
+        ObsSinkKind::Recording(RecordingSink::default())
+    }
+}
+
+impl From<RecordingSink> for ObsSinkKind {
+    fn from(s: RecordingSink) -> Self {
+        ObsSinkKind::Recording(s)
+    }
+}
+
+impl From<DigestSink> for ObsSinkKind {
+    fn from(s: DigestSink) -> Self {
+        ObsSinkKind::Digest(s)
+    }
+}
+
+impl From<NullSink> for ObsSinkKind {
+    fn from(s: NullSink) -> Self {
+        ObsSinkKind::Null(s)
+    }
+}
+
+impl ObsSinkKind {
+    /// Consume one event (statically dispatched [`ObsSink::record`]).
+    #[inline]
+    pub fn record(&mut self, e: ObsEvent) {
+        match self {
+            ObsSinkKind::Recording(s) => s.record(e),
+            ObsSinkKind::Digest(s) => s.record(e),
+            ObsSinkKind::Null(_) => {}
+        }
+    }
+
+    /// Consume a batch of events in order: one dispatch per step-sized
+    /// batch. Identical digests/logs to recording each event singly.
+    #[inline]
+    pub fn record_batch(&mut self, events: &[ObsEvent]) {
+        match self {
+            ObsSinkKind::Recording(s) => s.record_batch(events),
+            ObsSinkKind::Digest(s) => s.record_batch(events),
+            ObsSinkKind::Null(_) => {}
+        }
+    }
+
+    /// Number of events recorded so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ObsSinkKind::Recording(s) => s.len(),
+            ObsSinkKind::Digest(s) => s.len(),
+            ObsSinkKind::Null(_) => 0,
+        }
+    }
+
+    /// Whether no event has been recorded yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rolling digest of everything recorded so far.
+    #[inline]
+    pub fn digest(&self) -> u64 {
+        match self {
+            ObsSinkKind::Recording(s) => s.digest(),
+            ObsSinkKind::Digest(s) => s.digest(),
+            ObsSinkKind::Null(_) => OBS_DIGEST_SEED,
+        }
+    }
+
+    /// The retained log, if this sink keeps one.
+    pub fn observation(&self) -> Option<&Observation> {
+        match self {
+            ObsSinkKind::Recording(s) => s.observation(),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the retained log, if any (the tamper seam the
+    /// adversarial transparency suites use; real monitors never touch it).
+    pub fn observation_mut(&mut self) -> Option<&mut Observation> {
+        match self {
+            ObsSinkKind::Recording(s) => s.observation_mut(),
+            _ => None,
+        }
+    }
+
+    /// Take the retained event buffer out (leaving the sink empty), if
+    /// this sink keeps one.
+    pub fn take_events(&mut self) -> Option<Vec<ObsEvent>> {
+        match self {
+            ObsSinkKind::Recording(s) => s.take_events(),
+            _ => None,
+        }
+    }
+}
+
+/// `ObsSinkKind` is itself a sink, so code generic over [`ObsSink`]
+/// (and the adversarial suites' mock monitors) accepts it unchanged.
+impl ObsSink for ObsSinkKind {
+    fn record(&mut self, e: ObsEvent) {
+        ObsSinkKind::record(self, e)
+    }
+
+    fn record_batch(&mut self, events: &[ObsEvent]) {
+        ObsSinkKind::record_batch(self, events)
+    }
+
+    fn len(&self) -> usize {
+        ObsSinkKind::len(self)
+    }
+
+    fn digest(&self) -> u64 {
+        ObsSinkKind::digest(self)
+    }
+
+    fn observation(&self) -> Option<&Observation> {
+        ObsSinkKind::observation(self)
+    }
+
+    fn observation_mut(&mut self) -> Option<&mut Observation> {
+        ObsSinkKind::observation_mut(self)
+    }
+
+    fn take_events(&mut self) -> Option<Vec<ObsEvent>> {
+        ObsSinkKind::take_events(self)
+    }
+
+    fn clone_box(&self) -> Box<dyn ObsSink> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +573,77 @@ mod tests {
         assert_eq!(c.digest(), b.digest());
         let d: Box<dyn ObsSink> = Box::new(DigestSink::default());
         assert_eq!(d.clone().len(), 0);
+    }
+
+    #[test]
+    fn null_sink_discards_everything() {
+        let mut n = NullSink;
+        n.record(ObsEvent::Fault);
+        n.record_batch(&sample_events());
+        assert_eq!(n.len(), 0);
+        assert!(n.is_empty());
+        assert_eq!(n.digest(), obs_digest(&[]));
+        assert!(n.observation().is_none());
+        assert!(n.take_events().is_none());
+        assert_eq!(n.clone_box().len(), 0);
+    }
+
+    /// The static-dispatch enum behaves exactly like the sink it wraps —
+    /// per event and per batch — for every variant.
+    #[test]
+    fn sink_kind_matches_wrapped_sink() {
+        let events = sample_events();
+        for mut kind in [
+            ObsSinkKind::default(),
+            ObsSinkKind::from(DigestSink::default()),
+            ObsSinkKind::from(NullSink),
+        ] {
+            let mut batched = kind.clone();
+            for e in &events {
+                kind.record(*e);
+            }
+            batched.record_batch(&events);
+            assert_eq!(kind.len(), batched.len());
+            assert_eq!(kind.digest(), batched.digest());
+            assert_eq!(
+                kind.observation().map(|o| o.events.clone()),
+                batched.observation().map(|o| o.events.clone())
+            );
+        }
+        // Recording variant retains the log; digest/null do not.
+        let mut rec = ObsSinkKind::default();
+        rec.record_batch(&events);
+        assert_eq!(rec.observation().unwrap().events, events);
+        assert_eq!(rec.digest(), obs_digest(&events));
+        assert_eq!(rec.take_events().unwrap(), events);
+        let mut dig = ObsSinkKind::from(DigestSink::default());
+        dig.record_batch(&events);
+        assert_eq!(dig.len(), events.len());
+        assert_eq!(dig.digest(), obs_digest(&events));
+        assert!(dig.observation_mut().is_none());
+        assert!(dig.take_events().is_none());
+    }
+
+    /// Batched recording through the trait's provided method equals
+    /// per-event recording — the invariant the kernel's step-granular
+    /// flush rests on.
+    #[test]
+    fn record_batch_equals_per_event_recording() {
+        let events = sample_events();
+        let mut single = RecordingSink::default();
+        let mut batch = RecordingSink::default();
+        for e in &events {
+            single.record(*e);
+        }
+        batch.record_batch(&events);
+        assert_eq!(single.digest(), batch.digest());
+        assert_eq!(single.observation(), batch.observation());
+        // Split batches chain: digest state carries across flushes.
+        let mut split = DigestSink::default();
+        split.record_batch(&events[..2]);
+        split.record_batch(&events[2..]);
+        assert_eq!(split.digest(), obs_digest(&events));
+        assert_eq!(split.len(), events.len());
     }
 
     #[test]

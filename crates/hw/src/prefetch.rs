@@ -60,11 +60,26 @@ impl Prefetcher {
     /// Observe a demand load at `pc` to physical address `paddr`.
     /// Returns the physical addresses the prefetcher wants filled.
     pub fn observe(&mut self, pc: VAddr, paddr: PAddr, owner: DomainTag) -> Vec<PAddr> {
+        let mut out = Vec::new();
+        self.observe_into(pc, paddr, owner, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Prefetcher::observe`]: clears `out`, then fills
+    /// it with the prefetch candidates, reusing its capacity. The hot
+    /// loop threads one scratch vector through every demand load.
+    pub fn observe_into(
+        &mut self,
+        pc: VAddr,
+        paddr: PAddr,
+        owner: DomainTag,
+        out: &mut Vec<PAddr>,
+    ) {
         let idx = ((pc.0 >> 2) as usize) & (self.table.len() - 1);
         let tag = (pc.0 >> 2) | 1;
         let e = &mut self.table[idx];
 
-        let mut out = Vec::new();
+        out.clear();
         if e.tag == tag {
             let new_stride = paddr.0 as i64 - e.last as i64;
             if new_stride == e.stride && new_stride != 0 {
@@ -94,7 +109,6 @@ impl Prefetcher {
             };
         }
         e.owner = Some(owner);
-        out
     }
 
     /// Reset to the canonical empty state (§4.1 flushing).

@@ -50,12 +50,46 @@ pub enum TlbLookup {
 /// makes the partitioning argument cleanest: the only cross-ASID coupling
 /// is capacity/replacement, which `flush_asid`/`flush_all` plus the
 /// kernel's switch-time policy remove.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Tlb {
     entries: Vec<Option<TlbEntry>>,
     /// LRU ranks, parallel to `entries`; 0 = most recently used.
     lru: Vec<u8>,
+    /// Each slot's VPN ([`NO_KEY`] when invalid), parallel to `entries`.
+    /// Lookups scan this dense array instead of the 40-byte entries —
+    /// the lookup runs on every modelled instruction fetch.
+    vpn_key: Vec<u64>,
+    /// Memo of recent hits: `(lookup asid, vpn) → first matching slot`.
+    /// Between mutations the associative scan is a pure function of the
+    /// lookup key, so replaying a memoised slot (including its recency
+    /// touch) is byte-identical to re-scanning. Cleared on every
+    /// mutation; never consulted by digests or equality.
+    memo: [Option<LookupMemo>; 2],
+    /// Round-robin victim pointer into `memo`.
+    memo_next: u8,
 }
+
+/// One memoised lookup (see [`Tlb::memo`]).
+#[derive(Debug, Clone, Copy)]
+struct LookupMemo {
+    asid: Asid,
+    vpn: u64,
+    slot: u32,
+}
+
+/// `vpn_key` sentinel for invalid slots. Real VPNs are at most
+/// 2^52 - 1 (64-bit addresses, 12-bit pages), so this cannot collide.
+const NO_KEY: u64 = u64::MAX;
+
+/// Equality ignores the lookup memo (pure acceleration state): two TLBs
+/// are the same hardware state iff their entries and recency ranks agree.
+impl PartialEq for Tlb {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries && self.lru == other.lru
+    }
+}
+
+impl Eq for Tlb {}
 
 impl Tlb {
     /// Create an empty TLB with `capacity` entries.
@@ -70,6 +104,9 @@ impl Tlb {
         Tlb {
             entries: vec![None; capacity],
             lru: vec![0; capacity],
+            vpn_key: vec![NO_KEY; capacity],
+            memo: [None; 2],
+            memo_next: 0,
         }
     }
 
@@ -86,18 +123,52 @@ impl Tlb {
     /// Look up `vaddr` under `asid`, updating recency on a hit.
     pub fn lookup(&mut self, asid: Asid, vaddr: VAddr) -> TlbLookup {
         let vpn = vaddr.vpn();
-        for i in 0..self.entries.len() {
-            if let Some(e) = self.entries[i] {
-                if e.vpn == vpn && (e.global || e.asid == asid) {
-                    self.touch(i);
-                    return TlbLookup::Hit {
-                        pfn: e.pfn,
-                        writable: e.writable,
-                    };
-                }
+        // Memo fast path: the scan below is a pure function of
+        // (asid, vpn) until the next mutation, so a remembered slot is
+        // exactly the slot a fresh scan would find.
+        for m in self.memo.iter().flatten() {
+            if m.vpn == vpn && m.asid == asid {
+                let i = m.slot as usize;
+                let e = self.entries[i].as_ref().expect("memo implies a valid slot");
+                let hit = TlbLookup::Hit {
+                    pfn: e.pfn,
+                    writable: e.writable,
+                };
+                self.touch(i);
+                return hit;
+            }
+        }
+        for i in 0..self.vpn_key.len() {
+            if self.vpn_key[i] != vpn {
+                continue;
+            }
+            let e = self.entries[i]
+                .as_ref()
+                .expect("vpn key implies a valid slot");
+            if e.global || e.asid == asid {
+                let hit = TlbLookup::Hit {
+                    pfn: e.pfn,
+                    writable: e.writable,
+                };
+                let n = self.memo_next as usize;
+                self.memo[n] = Some(LookupMemo {
+                    asid,
+                    vpn,
+                    slot: i as u32,
+                });
+                self.memo_next = (self.memo_next + 1) % self.memo.len() as u8;
+                self.touch(i);
+                return hit;
             }
         }
         TlbLookup::Miss
+    }
+
+    /// Drop all memoised lookups. Must run on every mutation of
+    /// `entries` — the memo is only sound between mutations.
+    fn clear_memo(&mut self) {
+        self.memo = [None; 2];
+        self.memo_next = 0;
     }
 
     /// Probe without changing recency.
@@ -116,8 +187,7 @@ impl Tlb {
         for i in 0..self.entries.len() {
             if let Some(e) = self.entries[i] {
                 if e.vpn == entry.vpn && e.asid == entry.asid {
-                    self.entries[i] = Some(entry);
-                    self.touch(i);
+                    self.fill(i, entry);
                     return None;
                 }
             }
@@ -125,8 +195,7 @@ impl Tlb {
         // Otherwise an empty slot.
         for i in 0..self.entries.len() {
             if self.entries[i].is_none() {
-                self.entries[i] = Some(entry);
-                self.touch(i);
+                self.fill(i, entry);
                 return None;
             }
         }
@@ -139,13 +208,21 @@ impl Tlb {
             .map(|(i, _)| i)
             .unwrap_or(0);
         let old = self.entries[victim];
-        self.entries[victim] = Some(entry);
-        self.touch(victim);
+        self.fill(victim, entry);
         old
+    }
+
+    /// Install `entry` in slot `idx`, keeping the VPN index coherent.
+    fn fill(&mut self, idx: usize, entry: TlbEntry) {
+        self.clear_memo();
+        self.vpn_key[idx] = entry.vpn;
+        self.entries[idx] = Some(entry);
+        self.touch(idx);
     }
 
     /// Invalidate every entry (including globals). Canonical reset state.
     pub fn flush_all(&mut self) -> usize {
+        self.clear_memo();
         let n = self.occupancy();
         for e in &mut self.entries {
             *e = None;
@@ -153,15 +230,20 @@ impl Tlb {
         for r in &mut self.lru {
             *r = 0;
         }
+        for k in &mut self.vpn_key {
+            *k = NO_KEY;
+        }
         n
     }
 
     /// Invalidate all non-global entries of one ASID. Returns the count.
     pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        self.clear_memo();
         let mut n = 0;
-        for e in &mut self.entries {
-            if matches!(e, Some(x) if x.asid == asid && !x.global) {
-                *e = None;
+        for i in 0..self.entries.len() {
+            if matches!(&self.entries[i], Some(x) if x.asid == asid && !x.global) {
+                self.entries[i] = None;
+                self.vpn_key[i] = NO_KEY;
                 n += 1;
             }
         }
@@ -172,9 +254,11 @@ impl Tlb {
     /// this on unmap to preserve TLB consistency.
     pub fn invalidate_page(&mut self, asid: Asid, vaddr: VAddr) -> bool {
         let vpn = vaddr.vpn();
-        for e in &mut self.entries {
-            if matches!(e, Some(x) if x.asid == asid && x.vpn == vpn) {
-                *e = None;
+        for i in 0..self.entries.len() {
+            if matches!(&self.entries[i], Some(x) if x.asid == asid && x.vpn == vpn) {
+                self.clear_memo();
+                self.entries[i] = None;
+                self.vpn_key[i] = NO_KEY;
                 return true;
             }
         }

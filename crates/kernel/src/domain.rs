@@ -21,8 +21,8 @@
 use crate::program::{Program, StepFeedback};
 use crate::vspace::VSpace;
 use tp_hw::obs::RecordingSink;
-pub use tp_hw::obs::{ObsEvent, ObsSink, Observation};
-use tp_hw::types::{Asid, Colour, Cycles, DomainTag, VAddr};
+pub use tp_hw::obs::{NullSink, ObsEvent, ObsSink, ObsSinkKind, Observation};
+use tp_hw::types::{Asid, Colour, Cycles, DomainTag, VAddr, PAGE_SIZE};
 
 /// Index of a domain within the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -89,15 +89,21 @@ pub struct Domain {
     /// Feedback pending for the next program step.
     pub feedback: StepFeedback,
     /// Where everything the program observes goes: a recording sink by
-    /// default, a digest-only sink on the proof engine's hot path.
-    pub obs: Box<dyn ObsSink>,
+    /// default, a digest-only sink on the proof engine's hot path. A
+    /// closed enum, so the kernel's per-event emit is a static dispatch.
+    pub obs: ObsSinkKind,
+    /// Cached size in bytes of the contiguous code window (see
+    /// [`Domain::recompute_code_bytes`]): the PC-wrap modulus the
+    /// kernel's fetch path reads every instruction. Kept in sync by the
+    /// map/unmap syscalls instead of being rediscovered per fetch.
+    pub code_bytes: u64,
     /// Number of instructions retired (diagnostics).
     pub retired: u64,
 }
 
 /// The default sink: record the full log, like the pre-sink kernel.
-pub(crate) fn default_obs_sink() -> Box<dyn ObsSink> {
-    Box::new(RecordingSink::default())
+pub(crate) fn default_obs_sink() -> ObsSinkKind {
+    ObsSinkKind::Recording(RecordingSink::default())
 }
 
 impl Domain {
@@ -109,6 +115,19 @@ impl Domain {
     /// Whether the domain can execute an instruction right now.
     pub fn runnable(&self) -> bool {
         matches!(self.state, DomState::Runnable)
+    }
+
+    /// Re-derive [`Domain::code_bytes`] from the current address space:
+    /// the mapped-page count of the code window (at least one page).
+    /// Called after any mapping change that touches the window.
+    pub fn recompute_code_bytes(&mut self) {
+        let window = crate::layout::CODE_VPN..crate::layout::CODE_VPN + 1024;
+        let pages = self
+            .vspace
+            .iter()
+            .filter(|(vpn, _)| window.contains(vpn))
+            .count() as u64;
+        self.code_bytes = (pages * PAGE_SIZE).max(PAGE_SIZE);
     }
 }
 

@@ -141,6 +141,13 @@ impl KernelImage {
     /// which is the "accessed deterministically" premise of §5.2.
     pub fn footprint(&self, op: KernelOp) -> Vec<KAccess> {
         let mut out = Vec::new();
+        self.footprint_into(op, &mut out);
+        out
+    }
+
+    /// [`KernelImage::footprint`] appended into a caller-supplied
+    /// buffer — the kernel's allocation-free charging path.
+    pub fn footprint_into(&self, op: KernelOp, out: &mut Vec<KAccess>) {
         let fetch = |out: &mut Vec<KAccess>, lines: core::ops::Range<u64>| {
             for l in lines {
                 out.push(KAccess {
@@ -154,7 +161,7 @@ impl KernelImage {
             KernelOp::Entry => {
                 // Trap vector + entry/exit stubs: text lines 0..4,
                 // plus saving context to per-image data.
-                fetch(&mut out, 0..4);
+                fetch(out, 0..4);
                 out.push(KAccess {
                     paddr: self.data_line(0),
                     write: true,
@@ -164,7 +171,7 @@ impl KernelImage {
             KernelOp::Syscall(kind) => {
                 let h = kind.handler_index();
                 // Handler bodies live at distinct, fixed text ranges.
-                fetch(&mut out, 16 + h * 8..16 + h * 8 + 6);
+                fetch(out, 16 + h * 8..16 + h * 8 + 6);
                 out.push(KAccess {
                     paddr: self.data_line(1 + h),
                     write: false,
@@ -177,7 +184,7 @@ impl KernelImage {
                 });
             }
             KernelOp::Switch => {
-                fetch(&mut out, 56..62);
+                fetch(out, 56..62);
                 out.push(KAccess {
                     paddr: self.data_line(8),
                     write: true,
@@ -185,7 +192,7 @@ impl KernelImage {
                 });
             }
             KernelOp::IrqDispatch => {
-                fetch(&mut out, 64..69);
+                fetch(out, 64..69);
                 out.push(KAccess {
                     paddr: self.data_line(9),
                     write: true,
@@ -193,7 +200,6 @@ impl KernelImage {
                 });
             }
         }
-        out
     }
 }
 
@@ -222,68 +228,41 @@ impl GlobalKernelData {
     /// Deterministic global-data footprint of `op` (scheduler state on
     /// switches, endpoint state on IPC, IRQ table on dispatch).
     pub fn footprint(&self, op: KernelOp) -> Vec<KAccess> {
+        let mut out = Vec::new();
+        self.footprint_into(op, &mut out);
+        out
+    }
+
+    /// [`GlobalKernelData::footprint`] appended into a caller-supplied
+    /// buffer — the kernel's allocation-free charging path.
+    pub fn footprint_into(&self, op: KernelOp, out: &mut Vec<KAccess>) {
         let line = |i: u64| PAddr::from_pfn(self.frames[0], (i % 64) * LINE_SIZE);
+        let mut push = |paddr: PAddr, write: bool| {
+            out.push(KAccess {
+                paddr,
+                write,
+                fetch: false,
+            })
+        };
         match op {
-            KernelOp::Entry => vec![KAccess {
-                paddr: line(0),
-                write: false,
-                fetch: false,
-            }],
-            KernelOp::Syscall(SyscallKind::Send) | KernelOp::Syscall(SyscallKind::Recv) => vec![
-                KAccess {
-                    paddr: line(1),
-                    write: false,
-                    fetch: false,
-                },
-                KAccess {
-                    paddr: line(1),
-                    write: true,
-                    fetch: false,
-                },
-            ],
-            KernelOp::Syscall(SyscallKind::Io) => {
-                vec![KAccess {
-                    paddr: line(2),
-                    write: true,
-                    fetch: false,
-                }]
+            KernelOp::Entry => push(line(0), false),
+            KernelOp::Syscall(SyscallKind::Send) | KernelOp::Syscall(SyscallKind::Recv) => {
+                push(line(1), false);
+                push(line(1), true);
             }
-            KernelOp::Syscall(SyscallKind::Light) => Vec::new(),
+            KernelOp::Syscall(SyscallKind::Io) => push(line(2), true),
+            KernelOp::Syscall(SyscallKind::Light) => {}
             // Memory management touches the global frame-allocator state.
-            KernelOp::Syscall(SyscallKind::Mm) => vec![
-                KAccess {
-                    paddr: line(6),
-                    write: false,
-                    fetch: false,
-                },
-                KAccess {
-                    paddr: line(6),
-                    write: true,
-                    fetch: false,
-                },
-            ],
-            KernelOp::Switch => vec![
-                KAccess {
-                    paddr: line(3),
-                    write: false,
-                    fetch: false,
-                },
-                KAccess {
-                    paddr: line(3),
-                    write: true,
-                    fetch: false,
-                },
-                KAccess {
-                    paddr: line(4),
-                    write: true,
-                    fetch: false,
-                },
-            ],
-            KernelOp::IrqDispatch => vec![KAccess {
-                paddr: line(5),
-                write: false,
-                fetch: false,
-            }],
+            KernelOp::Syscall(SyscallKind::Mm) => {
+                push(line(6), false);
+                push(line(6), true);
+            }
+            KernelOp::Switch => {
+                push(line(3), false);
+                push(line(3), true);
+                push(line(4), true);
+            }
+            KernelOp::IrqDispatch => push(line(5), false),
         }
     }
 }

@@ -17,10 +17,12 @@
 
 use crate::colour::{AllocError, ColourAllocator};
 use crate::config::{KernelConfig, TimeProtConfig};
-use crate::domain::{default_obs_sink, DomState, Domain, DomainId, ObsEvent, ObsSink, Observation};
+use crate::domain::{
+    default_obs_sink, DomState, Domain, DomainId, ObsEvent, ObsSinkKind, Observation,
+};
 use crate::ipc::{Endpoint, QueuedMsg};
 use crate::kclone::{
-    GlobalKernelData, KernelImage, KernelOp, SyscallKind, KDATA_FRAMES, KGLOBAL_FRAMES,
+    GlobalKernelData, KAccess, KernelImage, KernelOp, SyscallKind, KDATA_FRAMES, KGLOBAL_FRAMES,
     KTEXT_FRAMES,
 };
 use crate::layout::{CODE_VPN, DATA_VPN};
@@ -190,6 +192,10 @@ pub struct Kernel {
     pub allocator: ColourAllocator,
     /// IRQ line ownership.
     irq_owner: [Option<DomainId>; 64],
+    /// Scratch buffer for kernel-footprint charging: reused across
+    /// every `charge_kernel` call instead of collecting a fresh vector
+    /// per kernel entry. Always empty between steps.
+    kaccess_scratch: Vec<KAccess>,
 }
 
 impl Kernel {
@@ -366,6 +372,7 @@ impl System {
                 state: DomState::Runnable,
                 feedback: StepFeedback::default(),
                 obs: default_obs_sink(),
+                code_bytes: (spec.code_pages * PAGE_SIZE).max(PAGE_SIZE),
                 retired: 0,
             });
         }
@@ -392,6 +399,7 @@ impl System {
             kernel_colours,
             allocator: alloc,
             irq_owner,
+            kaccess_scratch: Vec::new(),
         };
         let mask = kernel.irq_mask_for(DomainId(0));
         let mut sys = System { hw, kernel };
@@ -466,16 +474,18 @@ impl System {
         self.kernel.domains[d.0].obs.take_events()
     }
 
-    /// Replace domain `d`'s observation sink. Only sound before the
-    /// domain has observed anything: events already in the old sink are
-    /// discarded, so swapping mid-run would rewrite history.
-    pub fn set_obs_sink(&mut self, d: DomainId, sink: Box<dyn ObsSink>) {
+    /// Replace domain `d`'s observation sink (any of the
+    /// [`ObsSinkKind`] variants, or a bare sink via its `From` impl).
+    /// Only sound before the domain has observed anything: events
+    /// already in the old sink are discarded, so swapping mid-run would
+    /// rewrite history.
+    pub fn set_obs_sink(&mut self, d: DomainId, sink: impl Into<ObsSinkKind>) {
         let dom = &mut self.kernel.domains[d.0];
         debug_assert!(
             dom.obs.is_empty(),
             "set_obs_sink is only sound before the domain has observed anything"
         );
-        dom.obs = sink;
+        dom.obs = sink.into();
     }
 
     /// Switch every domain to a digest-only sink: the trace-free proof
@@ -485,7 +495,7 @@ impl System {
     /// recording run's.
     pub fn use_digest_sinks(&mut self) {
         for i in 0..self.kernel.domains.len() {
-            self.set_obs_sink(DomainId(i), Box::new(tp_hw::obs::DigestSink::default()));
+            self.set_obs_sink(DomainId(i), tp_hw::obs::DigestSink::default());
         }
     }
 
@@ -606,16 +616,19 @@ impl System {
     fn charge_kernel(&mut self, op: KernelOp) {
         let core = self.kernel.core;
         let img = self.kernel.domains[self.kernel.current.0].kimage;
-        let accesses: Vec<_> = self.kernel.images[img]
-            .footprint(op)
-            .into_iter()
-            .chain(self.kernel.global.footprint(op))
-            .collect();
-        for k in accesses {
+        // One scratch buffer reused across every kernel entry: footprints
+        // are written into it in place of three per-op allocations.
+        let mut accesses = core::mem::take(&mut self.kernel.kaccess_scratch);
+        accesses.clear();
+        self.kernel.images[img].footprint_into(op, &mut accesses);
+        self.kernel.global.footprint_into(op, &mut accesses);
+        for k in &accesses {
             let owner = self.hw.mem.owner_of(k.paddr).unwrap_or(DomainTag::KERNEL);
             // Kernel frames are always in modelled memory by construction.
             let _ = self.hw.access_phys(core, k.paddr, k.write, k.fetch, owner);
         }
+        accesses.clear();
+        self.kernel.kaccess_scratch = accesses;
     }
 
     /// Execute one user instruction of `d` (Case 1, possibly trapping
@@ -631,8 +644,9 @@ impl System {
             let tag = dom.id.tag();
             if let Err(_f) = self.hw.fetch_virt(core, asid, pc, &dom.vspace, tag) {
                 dom.state = DomState::Halted;
-                dom.obs.record(ObsEvent::Fault);
-                dom.obs.record(ObsEvent::Halted);
+                // The one multi-event step: both events are folded by a
+                // single step-granular batch flush, not two sink calls.
+                dom.obs.record_batch(&[ObsEvent::Fault, ObsEvent::Halted]);
                 return StepEvent::Fault { domain: d };
             }
         }
@@ -645,17 +659,10 @@ impl System {
         };
 
         // Advance the PC (wrapping within the code window so linear
-        // programs never run off their text; branches override).
-        let code_bytes = {
-            let dom = &self.kernel.domains[d.0];
-            // Code pages are contiguous from CODE_VPN; rediscover extent.
-            let pages = dom
-                .vspace
-                .iter()
-                .filter(|(vpn, _)| (CODE_VPN..CODE_VPN + 1024).contains(vpn))
-                .count() as u64;
-            (pages * PAGE_SIZE).max(PAGE_SIZE)
-        };
+        // programs never run off their text; branches override). The
+        // window size is cached on the domain — map/unmap keep it in
+        // sync — so the fetch path never walks the page-table map.
+        let code_bytes = self.kernel.domains[d.0].code_bytes;
         let bump_pc = |dom: &mut Domain| {
             let off = (dom.pc.0 + 4 - crate::layout::CODE_BASE.0) % code_bytes;
             dom.pc = VAddr(crate::layout::CODE_BASE.0 + off);
@@ -857,6 +864,8 @@ impl System {
             if let Some(t) = table {
                 k.allocator.release(&mut self.hw.mem, t);
             }
+        } else if (CODE_VPN..CODE_VPN + 1024).contains(&vpn) {
+            dom.recompute_code_bytes();
         }
     }
 
@@ -872,6 +881,9 @@ impl System {
                 .tlb
                 .invalidate_page(asid, VAddr(vpn << tp_hw::types::PAGE_BITS));
             k.allocator.release(&mut self.hw.mem, m.pfn);
+            if (CODE_VPN..CODE_VPN + 1024).contains(&vpn) {
+                dom.recompute_code_bytes();
+            }
         }
     }
 

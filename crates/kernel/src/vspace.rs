@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use tp_hw::machine::{AddressSpace, Translation};
+use tp_hw::machine::{AddressSpace, Translation, WalkFootprint};
 use tp_hw::types::{Asid, PAddr, VAddr};
 
 /// Number of entries per page-table level (512, as for 4 KiB pages with
@@ -145,18 +145,19 @@ impl AddressSpace for VSpace {
         })
     }
 
-    fn walk_footprint(&self, vpn: u64) -> Vec<PAddr> {
+    fn walk_footprint(&self, vpn: u64) -> WalkFootprint {
         let li = vpn / ENTRIES_PER_TABLE;
-        let root_entry = PAddr::from_pfn(self.root_frame, (li % ENTRIES_PER_TABLE) * 8);
-        match self.leaves.get(&li) {
-            Some(leaf) => {
-                let leaf_entry = PAddr::from_pfn(*leaf, (vpn % ENTRIES_PER_TABLE) * 8);
-                vec![root_entry, leaf_entry]
-            }
-            // Unmapped region: the walker still reads the root entry
-            // before discovering the absence.
-            None => vec![root_entry],
+        let mut fp = WalkFootprint::default();
+        fp.push(PAddr::from_pfn(
+            self.root_frame,
+            (li % ENTRIES_PER_TABLE) * 8,
+        ));
+        // Unmapped region: the walker still reads the root entry before
+        // discovering the absence.
+        if let Some(leaf) = self.leaves.get(&li) {
+            fp.push(PAddr::from_pfn(*leaf, (vpn % ENTRIES_PER_TABLE) * 8));
         }
+        fp
     }
 }
 
@@ -258,6 +259,7 @@ mod tests {
         .unwrap();
         let fp = v.walk_footprint(5);
         assert_eq!(fp.len(), 2);
+        let fp = fp.as_slice();
         assert_eq!(fp[0].pfn(), 10, "root frame first");
         assert_eq!(fp[1].pfn(), 11, "then leaf frame");
         assert_eq!(fp[1].page_offset(), 5 * 8);

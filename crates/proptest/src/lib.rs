@@ -71,6 +71,14 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values, as in proptest's `prop_map`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -89,6 +97,20 @@ impl_range_strategy!(u8, u16, u32, u64, usize);
 
 /// A strategy that always yields a clone of its value.
 #[derive(Debug, Clone)]
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always-the-same-value strategy, as in proptest's `Just`.
 pub struct Just<T: Clone>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
