@@ -12,7 +12,7 @@
 //!   `ExhaustiveRunner` template exists for.
 //!
 //! ```sh
-//! bench [--smoke] [--threads N] [--out FILE] [--check] [--band F]
+//! bench [--smoke] [--threads N] [--out FILE] [--check] [--band F] [--cache PATH]
 //! ```
 //!
 //! `--smoke` shrinks both workloads to CI size (seconds, not minutes)
@@ -29,6 +29,12 @@
 //! exits nonzero on a regression beyond the band (`--band`, default
 //! [`trajectory::DEFAULT_BAND`]). A host with no comparable history
 //! passes vacuously with a note.
+//!
+//! `--cache PATH` backs the untimed correctness sweep (the run that
+//! gates `full_protection_proved`) with the content-addressed proof
+//! cache, populating/refreshing `PATH`. The *timed* iterations always
+//! run uncached — the trajectory measures the proof engine, not the
+//! cache.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -46,6 +52,7 @@ struct Args {
     out: String,
     check: bool,
     band: f64,
+    cache: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_matrix.json".to_string(),
         check: false,
         band: trajectory::DEFAULT_BAND,
+        cache: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -78,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
                 args.band = b;
             }
             "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--cache" => args.cache = Some(it.next().ok_or("--cache needs a path")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -131,8 +140,45 @@ fn main() {
     let threads = tp_sched::global().threads();
     let (iters, models, exh_len) = if args.smoke { (1, 1, 2) } else { (3, 2, 3) };
 
-    // --- E11 sweep, digest-first certified (the default hot path). ---
-    let report = run_e11(models, ProofMode::Certified);
+    // --- E11 sweep, digest-first certified (the default hot path).
+    // With --cache this correctness run goes through the proof cache
+    // (and refreshes it); the timed iterations below never do.
+    let report = match &args.cache {
+        None => run_e11(models, ProofMode::Certified),
+        Some(path) => {
+            let mut cache = match std::fs::read_to_string(path) {
+                Ok(text) => match tp_core::ProofCache::load(&text) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("bench: cannot parse cache {path}: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => tp_core::ProofCache::new(),
+                Err(e) => {
+                    eprintln!("bench: cannot read cache {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let matrix = e11_matrix(models, ProofMode::Certified);
+            let all: Vec<usize> = (0..matrix.cells().len()).collect();
+            let (proved, stats) = matrix.run_subset_cached(
+                tp_sched::global(),
+                &all,
+                &mut cache,
+                |cell| canonical_scenario(cell.disable),
+                |_, _, _| {},
+            );
+            eprintln!("cache: {stats} — {} entries", cache.len());
+            if let Err(e) = std::fs::write(path, cache.save()) {
+                eprintln!("bench: cannot write cache {path}: {e}");
+                std::process::exit(2);
+            }
+            MatrixReport {
+                cells: proved.into_iter().map(|(_, c, r)| (c, r)).collect(),
+            }
+        }
+    };
     let cells = report.cells.len();
     let monitored_steps: usize = report.cells.iter().map(|(_, r)| r.steps).sum();
     let (_, t_digest) = time_iters(iters, || run_e11(models, ProofMode::Certified));

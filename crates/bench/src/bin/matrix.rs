@@ -15,6 +15,10 @@
 //! matrix --worker --cells 0..11  > a.txt
 //! matrix --worker --cells 11..21 > b.txt
 //! matrix --merge a.txt b.txt
+//!
+//! # incremental: first run populates the cache, later runs re-prove
+//! # only cells whose inputs changed — stdout stays byte-identical
+//! matrix --cache proofs.cache
 //! ```
 
 use tp_bench::cli::SweepArgs;
@@ -26,7 +30,7 @@ fn main() {
             eprintln!("matrix: {e}");
             eprintln!(
                 "usage: matrix [--threads N] [--cells SPEC] [--models N] [--replay-check] \
-                 [--worker | --merge FILE...]"
+                 [--cache PATH] [--worker | --merge FILE...]"
             );
             std::process::exit(2);
         }
@@ -66,7 +70,38 @@ fn main() {
         }
     };
 
-    let proved = tp_bench::run_matrix_cells(&matrix, &indices, |line| eprintln!("{line}"));
+    let proved = match &args.cache {
+        None => tp_bench::run_matrix_cells(&matrix, &indices, |line| eprintln!("{line}")),
+        Some(path) => {
+            // A missing cache file is a cold start, not an error; a
+            // malformed one is untrusted input and fails loudly rather
+            // than silently proving everything live.
+            let mut cache = match std::fs::read_to_string(path) {
+                Ok(text) => match tp_core::ProofCache::load(&text) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("matrix: cannot parse cache {path}: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => tp_core::ProofCache::new(),
+                Err(e) => {
+                    eprintln!("matrix: cannot read cache {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let (proved, stats) =
+                tp_bench::run_matrix_cells_cached(&matrix, &indices, &mut cache, |line| {
+                    eprintln!("{line}")
+                });
+            eprintln!("cache: {stats} — {} entries", cache.len());
+            if let Err(e) = std::fs::write(path, cache.save()) {
+                eprintln!("matrix: cannot write cache {path}: {e}");
+                std::process::exit(2);
+            }
+            proved
+        }
+    };
 
     if args.worker {
         // Wire records only on stdout: shard outputs concatenate.

@@ -16,6 +16,12 @@
 //!   NI baseline comes from a plain replay, auditing the transparency
 //!   certification. Reports are bit-identical to certified mode.
 //!
+//! * `--cache PATH` — back the sweep with the content-addressed proof
+//!   cache (`tp_core::cache`): load `PATH` if it exists, replay
+//!   validated hits, prove only changed cells, and write the updated
+//!   cache back. Reports stay byte-identical to an uncached run; the
+//!   hit/re-prove statistics go to stderr.
+//!
 //! `bin/matrix` additionally understands the scale-out modes:
 //!
 //! * `--worker` — prove the selected cells and print wire records
@@ -34,6 +40,8 @@ pub struct SweepArgs {
     pub models: Option<usize>,
     /// `--replay-check`.
     pub replay_check: bool,
+    /// `--cache PATH`.
+    pub cache: Option<String>,
     /// `--worker`.
     pub worker: bool,
     /// `--merge FILE...` (everything after the flag).
@@ -69,6 +77,10 @@ impl SweepArgs {
                     out.models = Some(n);
                 }
                 "--replay-check" => out.replay_check = true,
+                "--cache" => {
+                    let v = args.next().ok_or("--cache needs a path")?;
+                    out.cache = Some(v);
+                }
                 "--worker" => out.worker = true,
                 "--merge" => {
                     out.merge.extend(args.by_ref());
@@ -81,6 +93,9 @@ impl SweepArgs {
         }
         if out.worker && !out.merge.is_empty() {
             return Err("--worker and --merge are mutually exclusive".into());
+        }
+        if out.cache.is_some() && !out.merge.is_empty() {
+            return Err("--cache does not apply to --merge".into());
         }
         Ok(out)
     }
@@ -171,6 +186,19 @@ mod tests {
         // Composes with worker mode: an audit shard is a valid shard.
         let w = SweepArgs::parse(strs(&["--worker", "--replay-check"])).unwrap();
         assert!(w.worker && w.replay_check);
+    }
+
+    #[test]
+    fn parses_cache_flag() {
+        let a = SweepArgs::parse(strs(&["--cache", "proofs.cache"])).unwrap();
+        assert_eq!(a.cache.as_deref(), Some("proofs.cache"));
+        assert_eq!(SweepArgs::default().cache, None);
+        assert!(SweepArgs::parse(strs(&["--cache"])).is_err());
+        // A cached shard is a valid shard; a cached merge is not (the
+        // merge proves nothing, so a cache could neither hit nor fill).
+        let w = SweepArgs::parse(strs(&["--worker", "--cache", "c"])).unwrap();
+        assert!(w.worker && w.cache.is_some());
+        assert!(SweepArgs::parse(strs(&["--cache", "c", "--merge", "a"])).is_err());
     }
 
     #[test]

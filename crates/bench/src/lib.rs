@@ -652,6 +652,44 @@ pub fn run_matrix_cells(
     )
 }
 
+/// [`run_matrix_cells`] backed by the content-addressed proof cache:
+/// validated hits replay their stored reports, only changed cells are
+/// proved live, and freshly proved cells are inserted back into
+/// `cache`. Output (reports, progress lines, and anything serialised
+/// from the returned triples) is byte-identical to the uncached path;
+/// the hit/re-prove statistics come back for the caller to print on
+/// stderr, never on stdout.
+pub fn run_matrix_cells_cached(
+    matrix: &tp_core::ScenarioMatrix,
+    indices: &[usize],
+    cache: &mut tp_core::ProofCache,
+    mut progress: impl FnMut(&str),
+) -> (
+    Vec<(usize, tp_core::MatrixCell, tp_core::ProofReport)>,
+    tp_core::CacheStats,
+) {
+    let total = indices.len();
+    let mut done = 0usize;
+    matrix.run_subset_cached(
+        tp_sched::global(),
+        indices,
+        cache,
+        |cell| canonical_scenario(cell.disable),
+        |ci, cell, r| {
+            done += 1;
+            progress(&format!(
+                "[{done}/{total}] cell {ci}: {:<28} {}",
+                cell.label(),
+                if r.time_protection_proved() {
+                    "PROVED"
+                } else {
+                    "NOT proved"
+                }
+            ));
+        },
+    )
+}
+
 /// Render a [`tp_core::MatrixReport`] the way `bin/matrix` prints it.
 /// Shared by the single-process path and the multi-process merge path,
 /// which is what makes a merged sharded sweep byte-identical to a

@@ -1,0 +1,446 @@
+//! Content-addressed proof-cell cache with incremental sweeps.
+//!
+//! Re-proving a thousand-cell [`crate::engine::ScenarioMatrix`] after a
+//! one-line config tweak repeats work for every cell whose inputs did
+//! not change. This module makes sweeps incremental: each proved cell
+//! is stored under an FNV content hash of its **full input
+//! fingerprint** — machine configuration × kernel configuration (per
+//! secret, down to each domain's instruction sequence) × time-model
+//! family × secret set × engine/proof-mode version salt — together
+//! with the `(secret, len, digest)` observation fingerprints its NI
+//! verdicts were derived from, its [`ProofReport`] (including the
+//! [`TransparencyCert`]) and a checksum over the entry's canonical
+//! serialised bytes. A cache-backed sweep
+//! ([`crate::engine::ScenarioMatrix::run_subset_cached`]) re-proves
+//! only cells whose content hash changed and replays the rest, with
+//! reports and wire records byte-identical to an uncached run.
+//!
+//! ## Trust model: a hit is validated, never believed
+//!
+//! A cache file is untrusted input — it may be stale (produced by an
+//! older engine), corrupted, or deliberately poisoned. Every hit is
+//! therefore structurally re-validated before its report is replayed
+//! ([`ProofCache::lookup`]): the version salt and addressed key must
+//! match, the stored cell must equal the live cell, the checksum must
+//! re-derive over the entry's canonical bytes, the fingerprint table
+//! must have exactly one `(secret, len, digest)` triple per
+//! (model, secret) in live order, each model's stored NI verdict must
+//! be *re-derivable* from those fingerprints
+//! ([`compare_secret_digests`]), and the transparency certificate must
+//! be present, transparent, and grounded in the first fingerprint.
+//! Any failure rejects the entry and forces a live re-prove — a bad
+//! cache can cost time, never a forged verdict.
+//!
+//! What validation *cannot* catch: an adversary who fabricates a fully
+//! self-consistent entry (fingerprints, verdicts, cert and checksum
+//! all recomputed to agree) for inputs that genuinely hash to the
+//! addressed key. Detecting that requires re-running the cell, which
+//! is exactly what caching avoids — so treat a cache file with the
+//! same trust as the binary that wrote it, and fall back to
+//! `--replay-check` without a cache (or simply delete the cache) when
+//! provenance is in doubt. The adversarial suite in
+//! `crates/core/tests/cache_poisoning.rs` pins the entire reachable
+//! tampering surface to fail closed.
+//!
+//! ## Key derivation and invalidation
+//!
+//! [`cell_key`] folds, in order: the version salt ([`CACHE_SALT`]),
+//! the cell's machine configuration (serialised via the wire format's
+//! canonical field list), the cell label and ablation tag, the
+//! protection setting, every time model, the observer domain, cycle
+//! budget and step cap, and — per secret — the secret value and the
+//! kernel configuration's [`content_fingerprint`], which recursively
+//! covers every domain's instruction sequence, scheduling and padding
+//! parameters, endpoints and colour counts. A program that cannot
+//! prove its identity ([`Program::content_fingerprint`] returns
+//! `None`) makes the cell **uncacheable** rather than wrongly
+//! cacheable: `cell_key` returns `None` and the cell is always proved
+//! live. Changing *any* folded field changes the key (pinned by the
+//! property tests in `crates/core/tests/cache_invalidation.rs`), so
+//! stale entries are never looked up — they simply stop being
+//! addressed, and [`CACHE_SALT`] retires every entry at once whenever
+//! the engine's observable behaviour changes.
+//!
+//! ## Shipping and merging
+//!
+//! [`ProofCache::save`] serialises entries through [`crate::wire`] as
+//! ordinary cell record groups plus one optional `cached` record each,
+//! so cache files ship between hosts like shard outputs. Old wire
+//! files (no `cached` records) still parse everywhere; a cache file
+//! fed to the shard merge is treated as live output (the `cached`
+//! records are ignored), and [`ProofCache::load`] skips record groups
+//! without cache metadata — so caches and live shards concatenate and
+//! merge freely in both directions. Loading is last-wins per key,
+//! which makes merging two caches a file concatenation.
+//!
+//! [`Program::content_fingerprint`]: tp_kernel::program::Program::content_fingerprint
+//! [`content_fingerprint`]: tp_kernel::config::KernelConfig::content_fingerprint
+//! [`TransparencyCert`]: crate::noninterference::TransparencyCert
+
+use std::collections::BTreeMap;
+
+use crate::engine::{MatrixCell, ProofMode};
+use crate::noninterference::{compare_secret_digests, NiScenario, NiVerdict};
+use crate::proof::ProofReport;
+use crate::wire::{
+    enc_machine, enc_mechanism, enc_time_model, write_cell_body, write_cell_cached, CachedMeta,
+    WireError,
+};
+use tp_hw::clock::TimeModel;
+use tp_hw::obs::{mix_digest, OBS_DIGEST_SEED};
+
+/// Engine/proof-mode version salt folded into every content key and
+/// stored verbatim in every entry.
+///
+/// Bump this whenever the engine's observable behaviour changes —
+/// observation semantics, proof obligations, wire canonicalisation —
+/// so every entry produced by the previous version stops being
+/// addressed *and* fails the salt check if addressed anyway.
+pub const CACHE_SALT: u64 = 0x7470_cace_0000_0001;
+
+/// FNV-1a prime for the byte-wise folds (the u64 folds go through
+/// [`mix_digest`], which uses the same constant internally).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold a byte string into a rolling FNV-1a digest.
+fn fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The content key addressing one proof cell, or `None` when any
+/// domain's program cannot prove its identity (see the module docs) —
+/// an uncacheable cell is always proved live.
+///
+/// `scenario` must already be specialised to `cell`
+/// ([`crate::engine::ScenarioMatrix`] applies the cell's machine and
+/// protection before calling this), and `models`/`mode` are the
+/// matrix's — together they are every input the proof of this cell
+/// consumes.
+pub fn cell_key(
+    cell: &MatrixCell,
+    models: &[TimeModel],
+    scenario: &NiScenario,
+    mode: ProofMode,
+) -> Option<u64> {
+    let mut h = mix_digest(OBS_DIGEST_SEED, CACHE_SALT);
+    h = fold_bytes(h, enc_machine(&scenario.mcfg).as_bytes());
+    h = fold_bytes(h, cell.machine.as_bytes());
+    h = fold_bytes(h, cell.disable.map(enc_mechanism).unwrap_or("-").as_bytes());
+    h = cell.tp.fold_digest(h);
+    h = mix_digest(h, models.len() as u64);
+    for m in models {
+        h = fold_bytes(h, enc_time_model(m).as_bytes());
+    }
+    h = mix_digest(h, scenario.lo.0 as u64);
+    h = mix_digest(h, scenario.budget.0);
+    h = mix_digest(h, scenario.max_steps as u64);
+    h = mix_digest(h, scenario.secrets.len() as u64);
+    for &s in &scenario.secrets {
+        h = mix_digest(h, s);
+        h = mix_digest(h, (scenario.make_kcfg)(s).content_fingerprint()?);
+    }
+    h = mix_digest(
+        h,
+        match mode {
+            ProofMode::Certified => 0,
+            ProofMode::CertifiedRecording => 1,
+            ProofMode::ReplayCheck => 2,
+        },
+    );
+    Some(h)
+}
+
+/// The entry checksum: an FNV fold over the entry's canonical wire
+/// bytes ([`write_cell_body`] with the index pinned to 0, so checksums
+/// are position-independent) plus its key, salt and fingerprint table.
+///
+/// This is an *integrity* check — it catches corruption, truncation,
+/// field-level tampering and stale-format drift, not an adversary who
+/// recomputes it (see the module docs for the honest threat model).
+pub fn entry_check(
+    key: u64,
+    salt: u64,
+    fps: &[(u64, usize, u64)],
+    cell: &MatrixCell,
+    report: &ProofReport,
+) -> u64 {
+    let mut body = String::new();
+    write_cell_body(&mut body, 0, cell, report);
+    let mut h = fold_bytes(mix_digest(OBS_DIGEST_SEED, salt), body.as_bytes());
+    h = mix_digest(h, key);
+    h = mix_digest(h, fps.len() as u64);
+    for &(s, len, d) in fps {
+        h = mix_digest(h, s);
+        h = mix_digest(h, len as u64);
+        h = mix_digest(h, d);
+    }
+    h
+}
+
+/// One stored proof cell: the cell and report exactly as a live run
+/// would emit them, plus the cache metadata that authenticates them.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The content key this entry is addressed by.
+    pub key: u64,
+    /// The [`CACHE_SALT`] the producing engine folded.
+    pub salt: u64,
+    /// [`entry_check`] over this entry.
+    pub check: u64,
+    /// `(secret, lo_len, monitored_digest)` per (model, secret),
+    /// model-major.
+    pub fps: Vec<(u64, usize, u64)>,
+    /// The proved cell.
+    pub cell: MatrixCell,
+    /// Its proof report, replayed verbatim on a validated hit.
+    pub report: ProofReport,
+}
+
+/// Why a lookup did not produce a usable hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMiss {
+    /// No entry under the key — the cell is new or its inputs changed.
+    Absent,
+    /// An entry exists but failed validation; it must not be believed.
+    Rejected(RejectReason),
+}
+
+/// The specific validation failure of a rejected entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Produced under a different engine version salt.
+    SaltMismatch,
+    /// The entry's stored key differs from the key addressing it.
+    KeyMismatch,
+    /// The stored cell differs from the live cell being proved.
+    CellMismatch,
+    /// The checksum does not re-derive over the entry's bytes.
+    ChecksumMismatch,
+    /// The fingerprint table's shape or secrets diverge from the live
+    /// (model × secret) product.
+    FingerprintShape,
+    /// A stored NI verdict is not re-derivable from the stored
+    /// fingerprints (or a model label diverges) — the signature of a
+    /// flipped verdict.
+    VerdictMismatch,
+    /// The transparency certificate is missing, non-transparent, or not
+    /// grounded in the first run's fingerprint.
+    CertMismatch,
+}
+
+/// How a cache-backed sweep resolved its cells.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cells replayed from validated cache entries.
+    pub hits: usize,
+    /// Cells proved live because no entry existed under their key.
+    pub misses: usize,
+    /// Cells proved live because their entry failed validation.
+    pub rejected: usize,
+    /// Cells proved live because they have no content key.
+    pub uncacheable: usize,
+}
+
+impl CacheStats {
+    /// Cells that ran live, for whatever reason.
+    pub fn reproved(&self) -> usize {
+        self.misses + self.rejected + self.uncacheable
+    }
+}
+
+impl core::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} hits, {} re-proved ({} missed, {} rejected, {} uncacheable)",
+            self.hits,
+            self.reproved(),
+            self.misses,
+            self.rejected,
+            self.uncacheable
+        )
+    }
+}
+
+/// The persistent content-addressed store. See the module docs.
+#[derive(Debug, Default)]
+pub struct ProofCache {
+    entries: BTreeMap<u64, CacheEntry>,
+}
+
+impl ProofCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parse a cache file (any concatenation of [`crate::wire`] record
+    /// groups). Groups carrying a `cached` record become entries,
+    /// last-wins per key — so merging caches is file concatenation.
+    /// Groups without one (live shard output mixed in) are skipped:
+    /// without fingerprints there is nothing to validate a hit
+    /// against. Malformed input is an error, never a partial load.
+    pub fn load(text: &str) -> Result<Self, WireError> {
+        let mut entries = BTreeMap::new();
+        for (_, cell, report, meta) in crate::wire::parse_cells_meta(text)? {
+            if let Some(m) = meta {
+                entries.insert(
+                    m.key,
+                    CacheEntry {
+                        key: m.key,
+                        salt: m.salt,
+                        check: m.check,
+                        fps: m.fps,
+                        cell,
+                        report,
+                    },
+                );
+            }
+        }
+        Ok(ProofCache { entries })
+    }
+
+    /// Serialise every entry in key order with dense indices, ready to
+    /// ship. Byte-deterministic for a given entry set.
+    pub fn save(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.entries.values().enumerate() {
+            let meta = CachedMeta {
+                key: e.key,
+                salt: e.salt,
+                check: e.check,
+                fps: e.fps.clone(),
+            };
+            write_cell_cached(&mut out, i, &e.cell, &e.report, &meta);
+        }
+        out
+    }
+
+    /// Store a freshly proved cell under `key`, stamping the current
+    /// [`CACHE_SALT`] and a recomputed checksum.
+    pub fn insert(
+        &mut self,
+        key: u64,
+        cell: MatrixCell,
+        report: ProofReport,
+        fps: Vec<(u64, usize, u64)>,
+    ) {
+        let check = entry_check(key, CACHE_SALT, &fps, &cell, &report);
+        self.entries.insert(
+            key,
+            CacheEntry {
+                key,
+                salt: CACHE_SALT,
+                check,
+                fps,
+                cell,
+                report,
+            },
+        );
+    }
+
+    /// Look up and **validate** the entry for `key` against the live
+    /// cell and (model × secret) product. Returns the entry only when
+    /// every check in the module-level list holds; any failure is a
+    /// [`CacheMiss`] and the caller must prove the cell live.
+    pub fn lookup(
+        &self,
+        key: u64,
+        cell: &MatrixCell,
+        models: &[TimeModel],
+        secrets: &[u64],
+    ) -> Result<&CacheEntry, CacheMiss> {
+        let e = self.entries.get(&key).ok_or(CacheMiss::Absent)?;
+        validate_entry(e, key, cell, models, secrets)
+            .map_err(CacheMiss::Rejected)
+            .map(|()| e)
+    }
+}
+
+/// The hit-validation gauntlet (see [`ProofCache::lookup`]).
+pub fn validate_entry(
+    e: &CacheEntry,
+    key: u64,
+    cell: &MatrixCell,
+    models: &[TimeModel],
+    secrets: &[u64],
+) -> Result<(), RejectReason> {
+    if e.salt != CACHE_SALT {
+        return Err(RejectReason::SaltMismatch);
+    }
+    if e.key != key {
+        return Err(RejectReason::KeyMismatch);
+    }
+    if e.cell != *cell {
+        return Err(RejectReason::CellMismatch);
+    }
+    if e.check != entry_check(e.key, e.salt, &e.fps, &e.cell, &e.report) {
+        return Err(RejectReason::ChecksumMismatch);
+    }
+    if secrets.len() < 2 || e.fps.len() != models.len() * secrets.len() {
+        return Err(RejectReason::FingerprintShape);
+    }
+    for (mi, _) in models.iter().enumerate() {
+        for (si, &s) in secrets.iter().enumerate() {
+            if e.fps[mi * secrets.len() + si].0 != s {
+                return Err(RejectReason::FingerprintShape);
+            }
+        }
+    }
+    if e.report.ni.len() != models.len() {
+        return Err(RejectReason::VerdictMismatch);
+    }
+    for (mi, model) in models.iter().enumerate() {
+        let mv = &e.report.ni[mi];
+        if mv.model != *model {
+            return Err(RejectReason::VerdictMismatch);
+        }
+        let slice = &e.fps[mi * secrets.len()..(mi + 1) * secrets.len()];
+        match compare_secret_digests(slice) {
+            Ok(pass) => {
+                if mv.verdict != pass {
+                    return Err(RejectReason::VerdictMismatch);
+                }
+            }
+            Err(b) => match &mv.verdict {
+                NiVerdict::Leak {
+                    secret_a, secret_b, ..
+                } if *secret_a == secrets[0] && *secret_b == secrets[b] => {}
+                _ => return Err(RejectReason::VerdictMismatch),
+            },
+        }
+    }
+    match &e.report.transparency {
+        Some(cert) if cert.transparent() && cert.monitored_digest == e.fps[0].2 => Ok(()),
+        _ => Err(RejectReason::CertMismatch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_bytes_separates_prefixes() {
+        let a = fold_bytes(OBS_DIGEST_SEED, b"abc");
+        let b = fold_bytes(OBS_DIGEST_SEED, b"abd");
+        let c = fold_bytes(OBS_DIGEST_SEED, b"ab");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, fold_bytes(fold_bytes(OBS_DIGEST_SEED, b"ab"), b"c"));
+    }
+}

@@ -40,6 +40,7 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::cache::{CacheMiss, CacheStats, ProofCache};
 use crate::exhaustive::{
     recorded_leak, space_size, word_for_index_into, ExhaustiveConfig, ExhaustiveMode,
     ExhaustiveRunner, ExhaustiveVerdict,
@@ -347,6 +348,11 @@ fn proof_task_count(models: usize, secrets: usize, mode: ProofMode) -> usize {
 /// disagree, the merge re-runs the offending pair with recording sinks
 /// to extract the witness — the only trace materialisation a
 /// digest-first proof ever performs.
+///
+/// Alongside the report, returns each run's
+/// `(secret, lo_len, monitored_digest)` observation fingerprint in
+/// model-major order — the evidence the proof cache stores and
+/// re-validates on every hit.
 fn merge_proof_stream(
     aisa: tp_hw::aisa::ConformanceReport,
     models: &[TimeModel],
@@ -354,7 +360,7 @@ fn merge_proof_stream(
     mode: ProofMode,
     runs: &[ProofTask],
     it: &mut impl Iterator<Item = TaskOutput>,
-) -> ProofReport {
+) -> (ProofReport, Vec<(u64, usize, u64)>) {
     let cert_replay = match mode {
         ProofMode::Certified | ProofMode::CertifiedRecording => match it.next() {
             Some(TaskOutput::Cert(d)) => Some(d),
@@ -368,6 +374,7 @@ fn merge_proof_stream(
     let mut ni = Vec::with_capacity(models.len());
     let mut steps = 0;
     let mut transparency: Option<TransparencyCert> = None;
+    let mut fps = Vec::with_capacity(models.len() * secrets.len());
     for (mi, model) in models.iter().enumerate() {
         let mut traces: Vec<(u64, Vec<ObsEvent>)> = Vec::new();
         let mut digests: Vec<(u64, usize, u64)> = Vec::new();
@@ -376,6 +383,7 @@ fn merge_proof_stream(
                 Some(TaskOutput::Run(s)) => *s,
                 _ => panic!("one monitored shard per (model, secret)"),
             };
+            fps.push((s, shard.lo_len, shard.monitored_digest));
             p.merge(shard.p);
             f.merge(shard.f);
             t.merge(shard.t);
@@ -414,15 +422,18 @@ fn merge_proof_stream(
             verdict,
         });
     }
-    ProofReport {
-        aisa,
-        p,
-        f,
-        t,
-        ni,
-        steps,
-        transparency,
-    }
+    (
+        ProofReport {
+            aisa,
+            p,
+            f,
+            t,
+            ni,
+            steps,
+            transparency,
+        },
+        fps,
+    )
 }
 
 /// Guard the preconditions shared by every proof driver.
@@ -474,6 +485,7 @@ pub fn prove_parallel_mode(
         &batch.runs,
         &mut outputs.into_iter(),
     )
+    .0
 }
 
 /// [`prove_parallel`] on a scoped spawn-per-call pool of `threads`
@@ -509,6 +521,7 @@ pub fn prove_parallel_scoped_mode(
         &batch.runs,
         &mut outputs.into_iter(),
     )
+    .0
 }
 
 // ---------------------------------------------------------------------
@@ -1037,11 +1050,110 @@ impl ScenarioMatrix {
         let mut stream = pool.map_streamed(tasks, move |_, t| run_engine_task(t, mode));
         let mut out = Vec::with_capacity(indices.len());
         for (ci, aisa, secrets, runs) in meta {
-            let report = merge_proof_stream(aisa, &self.models, &secrets, mode, &runs, &mut stream);
+            let (report, _) =
+                merge_proof_stream(aisa, &self.models, &secrets, mode, &runs, &mut stream);
             on_cell(ci, &all[ci], &report);
             out.push((ci, all[ci].clone(), report));
         }
         out
+    }
+
+    /// [`ScenarioMatrix::run_subset_streamed`] backed by a
+    /// [`ProofCache`]: each selected cell's content key
+    /// ([`crate::cache::cell_key`]) is looked up first, and a
+    /// **validated** hit replays the stored report without running
+    /// anything; only misses (absent, rejected, or uncacheable cells)
+    /// are flattened into the live task batch. Freshly proved
+    /// cacheable cells are inserted back into `cache` with their
+    /// observation fingerprints, so a cold sweep populates the cache a
+    /// warm sweep then hits.
+    ///
+    /// Reports, streaming order, and therefore any serialised output
+    /// are byte-identical to the uncached
+    /// [`ScenarioMatrix::run_subset_streamed`]: a hit's stored report
+    /// equals the live report whenever the content key matches (the
+    /// determinism harness pins this), and a hit that fails validation
+    /// silently degrades to a live re-prove — a bad cache can cost
+    /// time, never change output.
+    pub fn run_subset_cached<F, C>(
+        &self,
+        pool: &WorkerPool,
+        indices: &[usize],
+        cache: &mut ProofCache,
+        make_scenario: F,
+        mut on_cell: C,
+    ) -> (Vec<(usize, MatrixCell, ProofReport)>, CacheStats)
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+        C: FnMut(usize, &MatrixCell, &ProofReport),
+    {
+        enum Plan {
+            Hit(Box<ProofReport>),
+            Miss {
+                key: Option<u64>,
+                aisa: tp_hw::aisa::ConformanceReport,
+                secrets: Vec<u64>,
+                runs: Vec<ProofTask>,
+            },
+        }
+        let all = self.cells();
+        let mode = self.mode;
+        let mut stats = CacheStats::default();
+        let mut tasks = Vec::new();
+        let mut plans = Vec::with_capacity(indices.len());
+        for &ci in indices {
+            let cell = &all[ci];
+            let scenario = apply_cell(make_scenario(cell), cell);
+            check_proof_inputs(&scenario, &self.models);
+            let key = crate::cache::cell_key(cell, &self.models, &scenario, mode);
+            match key {
+                Some(k) => match cache.lookup(k, cell, &self.models, &scenario.secrets) {
+                    Ok(entry) => {
+                        stats.hits += 1;
+                        plans.push((ci, Plan::Hit(Box::new(entry.report.clone()))));
+                        continue;
+                    }
+                    Err(CacheMiss::Absent) => stats.misses += 1,
+                    Err(CacheMiss::Rejected(_)) => stats.rejected += 1,
+                },
+                None => stats.uncacheable += 1,
+            }
+            let batch = proof_tasks(&scenario, &self.models, mode);
+            plans.push((
+                ci,
+                Plan::Miss {
+                    key,
+                    aisa: check_conformance(&cell.mcfg),
+                    secrets: scenario.secrets.clone(),
+                    runs: batch.runs,
+                },
+            ));
+            tasks.extend(batch.tasks);
+        }
+
+        let mut stream = pool.map_streamed(tasks, move |_, t| run_engine_task(t, mode));
+        let mut out = Vec::with_capacity(indices.len());
+        for (ci, plan) in plans {
+            let report = match plan {
+                Plan::Hit(report) => *report,
+                Plan::Miss {
+                    key,
+                    aisa,
+                    secrets,
+                    runs,
+                } => {
+                    let (report, fps) =
+                        merge_proof_stream(aisa, &self.models, &secrets, mode, &runs, &mut stream);
+                    if let Some(k) = key {
+                        cache.insert(k, all[ci].clone(), report.clone(), fps);
+                    }
+                    report
+                }
+            };
+            on_cell(ci, &all[ci], &report);
+            out.push((ci, all[ci].clone(), report));
+        }
+        (out, stats)
     }
 
     /// [`ScenarioMatrix::run`] on a scoped spawn-per-call pool,

@@ -27,6 +27,10 @@
 //! * **[`wire`]** — the scale-out text format: serialise
 //!   [`engine::MatrixCell`]s with their verdicts, shard a sweep across
 //!   processes or hosts, and merge back the identical report.
+//! * **[`cache`]** — the content-addressed proof-cell cache:
+//!   incremental sweeps re-prove only cells whose input fingerprint
+//!   changed and replay the rest, with every hit structurally
+//!   re-validated so a hostile or stale cache can never flip a verdict.
 //!
 //! Where the paper envisions Isabelle/HOL proofs, this crate *checks*
 //! the same obligations mechanically over executions of the modelled
@@ -76,6 +80,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod exhaustive;
 pub mod flush;
@@ -87,6 +92,7 @@ pub mod proof;
 pub mod wcet;
 pub mod wire;
 
+pub use cache::{CacheMiss, CacheStats, ProofCache, RejectReason};
 pub use engine::{
     available_threads, check_exhaustive_parallel, prove_parallel, MatrixCell, MatrixReport,
     ProofMode, ScenarioMatrix,

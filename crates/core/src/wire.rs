@@ -80,6 +80,28 @@ impl core::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Cache metadata optionally attached to a cell's record group (the
+/// `cached` record, written by [`write_cell_cached`]): the content key
+/// the entry is addressed by, the engine salt it was produced under, a
+/// self-authenticating checksum over the group's canonical bytes, and
+/// the per-(model, secret) observation fingerprints its NI verdicts
+/// were derived from. Records without it — every record written before
+/// the proof cache existed, and every live worker shard — parse to
+/// `None`, so caches and live shards concatenate and merge freely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedMeta {
+    /// The FNV content hash of the cell's full input fingerprint.
+    pub key: u64,
+    /// The engine/proof-mode version salt the entry was produced under.
+    pub salt: u64,
+    /// Checksum over the entry's canonical serialised bytes plus key,
+    /// salt and fingerprints ([`crate::cache::entry_check`]).
+    pub check: u64,
+    /// `(secret, lo_len, monitored_digest)` per (model, secret) run,
+    /// model-major — the evidence the cell's NI verdicts rest on.
+    pub fps: Vec<(u64, usize, u64)>,
+}
+
 // ---------------------------------------------------------------------
 // Escaping
 // ---------------------------------------------------------------------
@@ -182,7 +204,7 @@ fn enc_cost_table(t: &CostTable) -> String {
         .join(",")
 }
 
-fn enc_time_model(m: &TimeModel) -> String {
+pub(crate) fn enc_time_model(m: &TimeModel) -> String {
     match m {
         TimeModel::Table(t) => format!("table:{}", enc_cost_table(t)),
         TimeModel::Hashed {
@@ -193,7 +215,32 @@ fn enc_time_model(m: &TimeModel) -> String {
     }
 }
 
-fn enc_mechanism(m: Mechanism) -> &'static str {
+/// The canonical `key=value` field list of a machine configuration —
+/// the body of the `mcfg` record, and the canonical machine encoding
+/// the proof cache folds into its content keys.
+pub(crate) fn enc_machine(m: &MachineConfig) -> String {
+    format!(
+        "cores={} tlb={} frames={} icx={} pf={} bp={} smt={} l1i={} l1d={} l2={} llc={} mba={} time={}",
+        m.cores,
+        m.tlb_entries,
+        m.mem_frames,
+        m.icx_window,
+        enc_bool(m.prefetcher_enabled),
+        enc_bool(m.branch_predictor_enabled),
+        enc_bool(m.smt),
+        enc_cache(&m.l1i),
+        enc_cache(&m.l1d),
+        m.l2.as_ref().map(enc_cache).unwrap_or_else(|| "-".into()),
+        m.llc.as_ref().map(enc_cache).unwrap_or_else(|| "-".into()),
+        m.mba
+            .as_ref()
+            .map(|t| format!("{}:{}", t.max_requests_per_window, t.throttle_stall))
+            .unwrap_or_else(|| "-".into()),
+        enc_time_model(&m.time_model),
+    )
+}
+
+pub(crate) fn enc_mechanism(m: Mechanism) -> &'static str {
     match m {
         Mechanism::Colouring => "Colouring",
         Mechanism::Flush => "Flush",
@@ -415,7 +462,45 @@ fn dec_ni_verdict(s: &str) -> Result<NiVerdict, String> {
 /// global across shards — which is what lets [`merge_cells`] restore
 /// the deterministic report order.
 pub fn write_cell(out: &mut String, index: usize, cell: &MatrixCell, report: &ProofReport) {
-    let m = &cell.mcfg;
+    write_cell_body(out, index, cell, report);
+    writeln!(out, "end i={index}").expect("writing to a String cannot fail");
+}
+
+/// [`write_cell`] with the cell's cache metadata attached: the same
+/// record group plus one `cached` record immediately before `end`.
+/// Strip the `cached` lines and the output is byte-identical to a live
+/// worker's, which is what lets a warm cache replay into a sharded
+/// merge without disturbing it.
+pub fn write_cell_cached(
+    out: &mut String,
+    index: usize,
+    cell: &MatrixCell,
+    report: &ProofReport,
+    meta: &CachedMeta,
+) {
+    write_cell_body(out, index, cell, report);
+    writeln!(
+        out,
+        "cached i={index} key={} salt={} check={} fps={}",
+        meta.key,
+        meta.salt,
+        meta.check,
+        enc_fingerprints(&meta.fps),
+    )
+    .expect("writing to a String cannot fail");
+    writeln!(out, "end i={index}").expect("writing to a String cannot fail");
+}
+
+/// Everything in a cell's record group except the trailing
+/// `cached`/`end` records. Also the canonical byte string the proof
+/// cache's entry checksum covers (with the index pinned by the caller,
+/// so checksums are position-independent).
+pub(crate) fn write_cell_body(
+    out: &mut String,
+    index: usize,
+    cell: &MatrixCell,
+    report: &ProofReport,
+) {
     writeln!(
         out,
         "cell i={index} machine={} disable={}",
@@ -436,27 +521,8 @@ pub fn write_cell(out: &mut String, index: usize, cell: &MatrixCell, report: &Pr
         enc_bool(tp.deterministic_ipc),
     )
     .expect("writing to a String cannot fail");
-    writeln!(
-        out,
-        "mcfg i={index} cores={} tlb={} frames={} icx={} pf={} bp={} smt={} l1i={} l1d={} l2={} llc={} mba={} time={}",
-        m.cores,
-        m.tlb_entries,
-        m.mem_frames,
-        m.icx_window,
-        enc_bool(m.prefetcher_enabled),
-        enc_bool(m.branch_predictor_enabled),
-        enc_bool(m.smt),
-        enc_cache(&m.l1i),
-        enc_cache(&m.l1d),
-        m.l2.as_ref().map(enc_cache).unwrap_or_else(|| "-".into()),
-        m.llc.as_ref().map(enc_cache).unwrap_or_else(|| "-".into()),
-        m.mba
-            .as_ref()
-            .map(|t| format!("{}:{}", t.max_requests_per_window, t.throttle_stall))
-            .unwrap_or_else(|| "-".into()),
-        enc_time_model(&m.time_model),
-    )
-    .expect("writing to a String cannot fail");
+    writeln!(out, "mcfg i={index} {}", enc_machine(&cell.mcfg))
+        .expect("writing to a String cannot fail");
     for ob in [&report.p, &report.f, &report.t] {
         writeln!(
             out,
@@ -494,7 +560,34 @@ pub fn write_cell(out: &mut String, index: usize, cell: &MatrixCell, report: &Pr
         )
         .expect("writing to a String cannot fail");
     }
-    writeln!(out, "end i={index}").expect("writing to a String cannot fail");
+}
+
+/// Encode the per-(model, secret) fingerprint list:
+/// `secret:len:digest` triples, comma-joined, model-major.
+fn enc_fingerprints(fps: &[(u64, usize, u64)]) -> String {
+    fps.iter()
+        .map(|(s, l, d)| format!("{s}:{l}:{d}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn dec_fingerprints(s: &str) -> Result<Vec<(u64, usize, u64)>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let fields: Vec<&str> = part.split(':').collect();
+        if fields.len() != 3 {
+            return Err(format!("fingerprint needs secret:len:digest, got {part:?}"));
+        }
+        out.push((
+            dec_u64(fields[0])?,
+            dec_usize(fields[1])?,
+            dec_u64(fields[2])?,
+        ));
+    }
+    if out.is_empty() {
+        return Err("fingerprint list is empty".into());
+    }
+    Ok(out)
 }
 
 /// Serialise a whole [`MatrixReport`] (cell indices `0..n`).
@@ -523,6 +616,10 @@ struct CellBuilder {
     /// Optional for cross-version compatibility: reports serialised
     /// before transparency certification existed parse to `None`.
     cert: Option<TransparencyCert>,
+    /// Optional: only present in cache files (see [`crate::cache`]).
+    /// Live sweep output never carries it, and old records parse to
+    /// `None`.
+    cached: Option<CachedMeta>,
 }
 
 /// Split a record line into its tag and key=value fields.
@@ -548,8 +645,22 @@ fn want<'a>(map: &BTreeMap<&str, &'a str>, key: &str) -> Result<&'a str, String>
 /// `cat`-ed together freely. Returns `(index, cell, report)` triples in
 /// the order their `end` records appear.
 pub fn parse_cells(text: &str) -> Result<Vec<(usize, MatrixCell, ProofReport)>, WireError> {
+    Ok(parse_cells_meta(text)?
+        .into_iter()
+        .map(|(i, cell, report, _)| (i, cell, report))
+        .collect())
+}
+
+/// One parsed record group: the cell's global index, the cell, its
+/// report, and its optional cache metadata.
+pub type ParsedCell = (usize, MatrixCell, ProofReport, Option<CachedMeta>);
+
+/// Like [`parse_cells`], but also surfaces each cell's optional
+/// [`CachedMeta`] record. Cache files round-trip through this; live
+/// shard output parses with `None` meta throughout.
+pub fn parse_cells_meta(text: &str) -> Result<Vec<ParsedCell>, WireError> {
     let mut building: BTreeMap<usize, CellBuilder> = BTreeMap::new();
-    let mut done: Vec<(usize, MatrixCell, ProofReport)> = Vec::new();
+    let mut done: Vec<ParsedCell> = Vec::new();
 
     for (line_no, raw) in text.lines().enumerate() {
         let line_no = line_no + 1;
@@ -674,6 +785,15 @@ pub fn parse_cells(text: &str) -> Result<Vec<(usize, MatrixCell, ProofReport)>, 
                         .map_err(parse_err)?,
                 });
             }
+            "cached" => {
+                b.cached = Some(CachedMeta {
+                    key: dec_u64(want(&map, "key").map_err(parse_err)?).map_err(parse_err)?,
+                    salt: dec_u64(want(&map, "salt").map_err(parse_err)?).map_err(parse_err)?,
+                    check: dec_u64(want(&map, "check").map_err(parse_err)?).map_err(parse_err)?,
+                    fps: dec_fingerprints(want(&map, "fps").map_err(parse_err)?)
+                        .map_err(parse_err)?,
+                });
+            }
             "end" => {
                 let b = building.remove(&index).expect("builder just touched");
                 done.push(finish_cell(index, b)?);
@@ -702,10 +822,7 @@ fn obligation_name(s: &str) -> Result<&'static str, String> {
 }
 
 /// Assemble the parsed records of one cell into its typed pair.
-fn finish_cell(
-    index: usize,
-    b: CellBuilder,
-) -> Result<(usize, MatrixCell, ProofReport), WireError> {
+fn finish_cell(index: usize, b: CellBuilder) -> Result<ParsedCell, WireError> {
     let missing = |msg: &str| WireError::Incomplete {
         index,
         msg: msg.into(),
@@ -741,7 +858,7 @@ fn finish_cell(
     if report.ni.is_empty() {
         return Err(missing("no ni records"));
     }
-    Ok((index, cell, report))
+    Ok((index, cell, report, b.cached))
 }
 
 /// Merge parsed shard outputs into the full sweep's [`MatrixReport`].

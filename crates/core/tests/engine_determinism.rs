@@ -212,6 +212,84 @@ fn certified_and_replay_check_sweeps_are_bit_identical() {
     );
 }
 
+/// The cache-backed sweep pin: a cold run (cache empty), a warm run
+/// (every cell hits, through a full save/load round-trip) and a mixed
+/// run (cache populated for only some cells) must all produce reports
+/// — and serialised wire records — bit-identical to the uncached
+/// sweep, at 1, 2 and 8 workers. A cache can only ever change *how
+/// much work* runs, never a byte of output.
+#[test]
+fn cold_warm_and_mixed_cache_runs_are_bit_identical() {
+    use tp_core::cache::ProofCache;
+
+    let models = default_time_models()[..2].to_vec();
+    let matrix = ScenarioMatrix::new("det", MachineConfig::single_core())
+        .add_machine("det-2c", MachineConfig::dual_core())
+        .with_ablations(vec![None, Some(Mechanism::Padding)])
+        .with_models(models);
+    let scenario =
+        |seed| move |_: &tp_core::MatrixCell| seeded_scenario(seed, TimeProtConfig::full());
+    let all: Vec<usize> = (0..matrix.cells().len()).collect();
+    let wire_of = |triples: &[(usize, tp_core::MatrixCell, ProofReport)]| {
+        let mut out = String::new();
+        for (i, cell, report) in triples {
+            tp_core::wire::write_cell(&mut out, *i, cell, report);
+        }
+        out
+    };
+
+    for workers in POOL_SIZES {
+        let pool = WorkerPool::new(workers);
+        let reference = matrix.run_subset_streamed(&pool, &all, scenario(2), |_, _, _| {});
+        let wire_reference = wire_of(&reference);
+
+        // Cold: empty cache, everything proves live, cache fills.
+        let mut cache = ProofCache::new();
+        let (cold, stats) =
+            matrix.run_subset_cached(&pool, &all, &mut cache, scenario(2), |_, _, _| {});
+        assert_eq!(stats.hits, 0, "cold run must not hit (pool×{workers})");
+        assert_eq!(stats.reproved(), all.len());
+        assert_eq!(cache.len(), all.len(), "every cell is cacheable here");
+        assert_eq!(cold, reference, "cold run output (pool×{workers})");
+        assert_eq!(wire_of(&cold), wire_reference);
+
+        // Warm: round-trip the cache through its wire serialisation,
+        // then every cell must hit and nothing must run.
+        let mut warmed = ProofCache::load(&cache.save()).expect("cache round-trips");
+        assert_eq!(warmed.len(), cache.len());
+        let (warm, stats) =
+            matrix.run_subset_cached(&pool, &all, &mut warmed, scenario(2), |_, _, _| {});
+        assert_eq!(
+            stats.hits,
+            all.len(),
+            "warm run must hit every cell (pool×{workers})"
+        );
+        assert_eq!(stats.reproved(), 0);
+        assert_eq!(warm, reference, "warm run output (pool×{workers})");
+        assert_eq!(wire_of(&warm), wire_reference);
+
+        // Mixed: cache knows only a prefix of the cells; the rest
+        // proves live around the hits without disturbing order.
+        let mut partial = ProofCache::new();
+        matrix.run_subset_cached(&pool, &all[..2], &mut partial, scenario(2), |_, _, _| {});
+        let (mixed, stats) =
+            matrix.run_subset_cached(&pool, &all, &mut partial, scenario(2), |_, _, _| {});
+        assert_eq!(stats.hits, 2, "prefix cells hit (pool×{workers})");
+        assert_eq!(stats.misses, all.len() - 2);
+        assert_eq!(mixed, reference, "mixed run output (pool×{workers})");
+        assert_eq!(wire_of(&mixed), wire_reference);
+
+        // Changed inputs re-prove: the same matrix driven by a
+        // different scenario seed shares no key with the warm cache.
+        let (_, stats) =
+            matrix.run_subset_cached(&pool, &all, &mut warmed, scenario(3), |_, _, _| {});
+        assert_eq!(
+            stats.hits, 0,
+            "a changed scenario must invalidate every cell (pool×{workers})"
+        );
+    }
+}
+
 /// The sharded enumeration returns the sequential first witness: the
 /// lowest-index distinguishing program, with identical divergence data
 /// — on the scoped path and on persistent pools of every size.

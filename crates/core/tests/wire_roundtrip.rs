@@ -319,3 +319,150 @@ fn hostile_cert_records_are_rejected() {
         })
     );
 }
+
+/// Strip the `cached` record — the exact bytes a plain `write_cell`
+/// would have produced. Cache metadata is an overlay, not a format.
+fn strip_cached_lines(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.trim_start().starts_with("cached "))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A cell annotated with cache metadata round-trips through
+    /// `write_cell_cached → parse_cells_meta` unchanged, and the
+    /// meta-less readers (`parse_cells`, shard merging) see exactly the
+    /// plain serialisation.
+    #[test]
+    fn cached_records_roundtrip(seed in any::<u64>()) {
+        let (cell, report) = synth_cell(seed);
+        let meta = wire::CachedMeta {
+            key: seed ^ 0x00de_ad00,
+            salt: seed.rotate_left(13),
+            check: seed.rotate_right(7),
+            fps: (0..1 + seed % 4)
+                .map(|i| (seed % 9 + i, (seed % 4096) as usize, seed ^ (i << 33)))
+                .collect(),
+        };
+        let mut text = String::new();
+        wire::write_cell_cached(&mut text, 3, &cell, &report, &meta);
+
+        let parsed = wire::parse_cells_meta(&text).expect("cached cell must parse");
+        prop_assert_eq!(parsed.len(), 1);
+        let (idx, cell2, report2, meta2) = &parsed[0];
+        prop_assert_eq!(*idx, 3usize);
+        prop_assert_eq!(cell2, &cell);
+        prop_assert_eq!(report2, &report);
+        prop_assert_eq!(meta2.as_ref(), Some(&meta));
+
+        // The meta-blind reader parses the same triple and drops the
+        // annotation; stripping the record recovers plain bytes.
+        let (pidx, pcell, preport) = &wire::parse_cells(&text).unwrap()[0];
+        prop_assert_eq!((*pidx, pcell, preport), (3usize, &cell, &report));
+        let mut plain = String::new();
+        wire::write_cell(&mut plain, 3, &cell, &report);
+        prop_assert_eq!(strip_cached_lines(&text), plain);
+    }
+
+    /// Shards written by cache-aware and cache-blind producers mix
+    /// freely: concatenated in any order they merge to the same report
+    /// as an all-plain sweep.
+    #[test]
+    fn mixed_format_shards_merge(seed in any::<u64>(), cells in 2u64..6) {
+        let sweep: Vec<(MatrixCell, ProofReport)> =
+            (0..cells).map(|i| synth_cell(seed.wrapping_add(i * 0x9e37_79b9))).collect();
+        let reference = wire::merge_cells(
+            wire::parse_cells(&wire::serialize_report(&MatrixReport { cells: sweep.clone() }))
+                .unwrap(),
+        )
+        .unwrap();
+
+        // Even cells plain, odd cells annotated, shards concatenated
+        // annotated-first.
+        let (mut plain, mut annotated) = (String::new(), String::new());
+        for (i, (c, r)) in sweep.iter().enumerate() {
+            if i % 2 == 0 {
+                wire::write_cell(&mut plain, i, c, r);
+            } else {
+                let meta = wire::CachedMeta {
+                    key: seed ^ i as u64,
+                    salt: 1,
+                    check: seed,
+                    fps: vec![(0, 1, seed), (1, 1, seed ^ 2)],
+                };
+                wire::write_cell_cached(&mut annotated, i, c, r, &meta);
+            }
+        }
+        let merged = wire::merge_cells(
+            wire::parse_cells(&format!("{annotated}# glue\n{plain}")).unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(&merged, &reference);
+        prop_assert_eq!(merged.to_string(), reference.to_string());
+    }
+}
+
+/// Hostile `cached` records: missing fields, malformed or empty
+/// fingerprint lists, and out-of-range integers are parse errors —
+/// never a silently defaulted (and thus validatable) annotation.
+#[test]
+fn hostile_cached_records_are_rejected() {
+    let (cell, report) = synth_cell(0xcac4_e666);
+    let meta = wire::CachedMeta {
+        key: 11,
+        salt: 22,
+        check: 33,
+        fps: vec![(0, 4, 5), (1, 4, 6)],
+    };
+    let mut text = String::new();
+    wire::write_cell_cached(&mut text, 0, &cell, &report, &meta);
+    let good = text
+        .lines()
+        .find(|l| l.starts_with("cached "))
+        .expect("cached record present");
+    assert_eq!(good, "cached i=0 key=11 salt=22 check=33 fps=0:4:5,1:4:6");
+
+    for bad in [
+        "cached i=0 salt=22 check=33 fps=0:4:5",      // missing key
+        "cached i=0 key=11 check=33 fps=0:4:5",       // missing salt
+        "cached i=0 key=11 salt=22 fps=0:4:5",        // missing check
+        "cached i=0 key=11 salt=22 check=33",         // missing fps
+        "cached i=0 key=11 salt=22 check=33 fps=",    // empty fps list
+        "cached i=0 key=11 salt=22 check=33 fps=0:4", // wrong arity (2)
+        "cached i=0 key=11 salt=22 check=33 fps=0:4:5:6", // wrong arity (4)
+        "cached i=0 key=11 salt=22 check=33 fps=0:4:5,", // trailing comma
+        "cached i=0 key=11 salt=22 check=33 fps=a:4:5", // bad integer
+        "cached i=0 key=11 salt=22 check=33 fps=-1:4:5", // negative
+        "cached i=0 key=11 salt=22 check=99999999999999999999 fps=0:4:5", // u64 overflow
+        "cached key=11 salt=22 check=33 fps=0:4:5",   // no index
+    ] {
+        let hostile = text.replace(good, bad);
+        assert!(
+            matches!(
+                wire::parse_cells_meta(&hostile),
+                Err(wire::WireError::Parse { .. })
+            ),
+            "hostile cached record must fail parsing: {bad:?}"
+        );
+    }
+
+    // Duplicate cached records are last-wins, like every other
+    // single-valued record.
+    let doubled = text.replace(
+        good,
+        &format!("{good}\ncached i=0 key=1 salt=2 check=3 fps=7:8:9"),
+    );
+    let parsed = wire::parse_cells_meta(&doubled).expect("duplicate cached records parse");
+    assert_eq!(
+        parsed[0].3,
+        Some(wire::CachedMeta {
+            key: 1,
+            salt: 2,
+            check: 3,
+            fps: vec![(7, 8, 9)],
+        })
+    );
+}

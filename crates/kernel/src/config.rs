@@ -7,6 +7,7 @@
 
 use crate::ipc::EndpointSpec;
 use crate::program::Program;
+use tp_hw::obs::{mix_digest, OBS_DIGEST_SEED};
 use tp_hw::types::Cycles;
 
 /// Which time-protection mechanisms are active (§4).
@@ -60,6 +61,24 @@ impl TimeProtConfig {
             kernel_clone: false,
             deterministic_ipc: false,
         }
+    }
+
+    /// Fold the seven mechanism switches into a rolling FNV state, one
+    /// bit per flag in declaration order — a leaf of the proof cache's
+    /// content hash.
+    pub fn fold_digest(&self, h: u64) -> u64 {
+        let bits = [
+            self.colouring,
+            self.flush_on_switch,
+            self.flush_llc_on_switch,
+            self.pad_switch,
+            self.irq_partition,
+            self.kernel_clone,
+            self.deterministic_ipc,
+        ]
+        .iter()
+        .fold(0u64, |acc, &b| acc << 1 | b as u64);
+        mix_digest(h, bits)
     }
 
     /// Full protection with one named mechanism disabled (ablation, E11).
@@ -181,6 +200,28 @@ impl DomainSpec {
         self.irq_lines = lines;
         self
     }
+
+    /// Content hash of everything that shapes this domain's behaviour,
+    /// or `None` when its program (or pad filler) cannot fingerprint
+    /// itself ([`Program::content_fingerprint`]). Every field of the
+    /// spec is folded with a leading tag, so e.g. swapping `slice` and
+    /// `pad` values cannot collide.
+    pub fn content_fingerprint(&self) -> Option<u64> {
+        let mut h = mix_digest(mix_digest(OBS_DIGEST_SEED, 1), self.slice.0);
+        h = mix_digest(mix_digest(h, 2), self.pad.0);
+        h = mix_digest(mix_digest(h, 3), self.irq_lines.len() as u64);
+        for &line in &self.irq_lines {
+            h = mix_digest(h, line as u64);
+        }
+        h = mix_digest(mix_digest(h, 4), self.code_pages);
+        h = mix_digest(mix_digest(h, 5), self.data_pages);
+        h = mix_digest(mix_digest(h, 6), self.program.content_fingerprint()?);
+        h = match &self.pad_filler {
+            None => mix_digest(h, 7),
+            Some(p) => mix_digest(mix_digest(h, 8), p.content_fingerprint()?),
+        };
+        Some(mix_digest(mix_digest(h, 9), self.filler_margin.0))
+    }
 }
 
 /// Full kernel configuration.
@@ -230,6 +271,29 @@ impl KernelConfig {
         self.ipc_switch = on;
         self
     }
+
+    /// Content hash of the whole kernel configuration — domains (with
+    /// their programs), endpoint thresholds, protection switches,
+    /// IPC-switch policy and kernel colours — or `None` if any program
+    /// is unfingerprintable. Two configurations with equal fingerprints
+    /// build behaviourally identical systems, which is the invariant
+    /// the proof cache's content addressing rests on.
+    pub fn content_fingerprint(&self) -> Option<u64> {
+        let mut h = mix_digest(OBS_DIGEST_SEED, self.domains.len() as u64);
+        for d in &self.domains {
+            h = mix_digest(h, d.content_fingerprint()?);
+        }
+        h = mix_digest(h, self.endpoints.len() as u64);
+        for ep in &self.endpoints {
+            h = match ep.min_delivery {
+                None => mix_digest(h, 1),
+                Some(c) => mix_digest(mix_digest(h, 2), c.0),
+            };
+        }
+        h = self.tp.fold_digest(h);
+        h = mix_digest(h, self.ipc_switch as u64);
+        Some(mix_digest(h, self.kernel_colours as u64))
+    }
 }
 
 #[cfg(test)]
@@ -277,5 +341,73 @@ mod tests {
             .with_ipc_switch(true);
         assert!(cfg.ipc_switch);
         assert_eq!(cfg.tp, TimeProtConfig::off());
+    }
+
+    #[test]
+    fn kernel_fingerprint_tracks_every_field() {
+        let base = || KernelConfig::new(vec![DomainSpec::new(Box::new(IdleProgram))]);
+        let fp = |c: &KernelConfig| c.content_fingerprint().unwrap();
+        assert_eq!(fp(&base()), fp(&base()), "equal configs hash equally");
+
+        let mut tweaked: Vec<KernelConfig> = vec![
+            base().with_tp(TimeProtConfig::off()),
+            base().with_ipc_switch(true),
+            base().with_endpoints(vec![EndpointSpec { min_delivery: None }]),
+            base().with_endpoints(vec![EndpointSpec {
+                min_delivery: Some(Cycles(100)),
+            }]),
+        ];
+        let mut c = base();
+        c.kernel_colours = 5;
+        tweaked.push(c);
+        let mut c = base();
+        c.domains[0].slice = Cycles(c.domains[0].slice.0 + 1);
+        tweaked.push(c);
+        let mut c = base();
+        c.domains[0].pad = Cycles(c.domains[0].pad.0 + 1);
+        tweaked.push(c);
+        let mut c = base();
+        c.domains[0].irq_lines.push(3);
+        tweaked.push(c);
+        let mut c = base();
+        c.domains[0].data_pages += 1;
+        tweaked.push(c);
+        let mut c = base();
+        c.domains[0].program = Box::new(crate::program::TraceProgram::new(vec![]));
+        tweaked.push(c);
+        for m in Mechanism::ALL {
+            tweaked.push(base().with_tp(TimeProtConfig::full_without(m)));
+        }
+        let reference = fp(&base());
+        let mut seen = std::collections::BTreeSet::from([reference]);
+        for t in &tweaked {
+            let f = fp(t);
+            assert_ne!(f, reference, "perturbation must change the hash: {t:?}");
+            assert!(
+                seen.insert(f),
+                "distinct perturbations must not collide: {t:?}"
+            );
+        }
+    }
+
+    /// One unfingerprintable program poisons the whole configuration —
+    /// the cache must treat such cells as uncacheable, never guess.
+    #[test]
+    fn opaque_programs_make_configs_unfingerprintable() {
+        #[derive(Debug, Clone)]
+        struct Opaque;
+        impl Program for Opaque {
+            fn next(&mut self, _: &crate::program::StepFeedback) -> crate::program::Instr {
+                crate::program::Instr::Halt
+            }
+        }
+        let cfg = KernelConfig::new(vec![
+            DomainSpec::new(Box::new(IdleProgram)),
+            DomainSpec::new(Box::new(Opaque)),
+        ]);
+        assert_eq!(cfg.content_fingerprint(), None);
+        let filler =
+            DomainSpec::new(Box::new(IdleProgram)).with_pad_filler(Box::new(Opaque), Cycles(10));
+        assert_eq!(KernelConfig::new(vec![filler]).content_fingerprint(), None);
     }
 }

@@ -12,6 +12,7 @@
 //! state machines; this module provides the trait, a script-style
 //! [`TraceProgram`] for tests, and the spinning [`IdleProgram`].
 
+use tp_hw::obs::{mix_digest, OBS_DIGEST_SEED};
 use tp_hw::types::{Cycles, Fault, VAddr};
 
 /// A system-call request issued by a program.
@@ -84,6 +85,42 @@ pub enum Instr {
     Halt,
 }
 
+/// Fold one instruction into a rolling FNV-1a state. Each [`Instr`] arm
+/// (and each [`SyscallReq`] arm below it) starts with a distinct tag
+/// byte, so structurally different instructions carrying the same
+/// payload words cannot collide — the same discipline
+/// [`tp_hw::obs::fold_obs_event`] applies to observation events. This
+/// is the leaf of the proof cache's content hash: two programs with
+/// equal folds replay identically.
+pub fn fold_instr(h: u64, i: &Instr) -> u64 {
+    match i {
+        Instr::Load(a) => mix_digest(mix_digest(h, 1), a.0),
+        Instr::Store(a) => mix_digest(mix_digest(h, 2), a.0),
+        Instr::Branch { taken, target } => {
+            mix_digest(mix_digest(mix_digest(h, 3), *taken as u64), target.0)
+        }
+        Instr::Compute(u) => mix_digest(mix_digest(h, 4), *u),
+        Instr::ReadClock => mix_digest(h, 5),
+        Instr::Syscall(req) => {
+            let h = mix_digest(h, 6);
+            match req {
+                SyscallReq::Send { ep, msg } => {
+                    mix_digest(mix_digest(mix_digest(h, 1), *ep as u64), *msg)
+                }
+                SyscallReq::Recv { ep } => mix_digest(mix_digest(h, 2), *ep as u64),
+                SyscallReq::IoSubmit { line, delay } => {
+                    mix_digest(mix_digest(mix_digest(h, 3), *line as u64), *delay)
+                }
+                SyscallReq::Yield => mix_digest(h, 4),
+                SyscallReq::Null => mix_digest(h, 5),
+                SyscallReq::MapPage { vpn } => mix_digest(mix_digest(h, 6), *vpn),
+                SyscallReq::UnmapPage { vpn } => mix_digest(mix_digest(h, 7), *vpn),
+            }
+        }
+        Instr::Halt => mix_digest(h, 7),
+    }
+}
+
 /// An IPC message delivered to a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IpcDelivery {
@@ -120,6 +157,19 @@ pub struct StepFeedback {
 pub trait Program: ProgramClone + core::fmt::Debug + Send + Sync {
     /// Produce the next instruction given feedback about the last one.
     fn next(&mut self, feedback: &StepFeedback) -> Instr;
+
+    /// A content hash of the program's *complete* behaviour-determining
+    /// state, or `None` if the program cannot promise one.
+    ///
+    /// The contract is strict: two programs returning the same
+    /// `Some(fp)` must emit identical instruction sequences under
+    /// identical feedback. Any program that cannot guarantee this must
+    /// return `None` (the default), which makes every proof cell built
+    /// on it *uncacheable* — the proof cache falls back to a live
+    /// re-prove rather than trusting an under-specified fingerprint.
+    fn content_fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Object-safe clone support for `Box<dyn Program>`.
@@ -183,6 +233,18 @@ impl Program for TraceProgram {
         self.pos += 1;
         i
     }
+
+    /// The replay position and every remaining-or-replayed instruction
+    /// fully determine a trace program's output (`observed_clocks` is
+    /// write-only bookkeeping), so the fold over (pos, len, instrs) is a
+    /// complete fingerprint.
+    fn content_fingerprint(&self) -> Option<u64> {
+        let h = mix_digest(
+            mix_digest(OBS_DIGEST_SEED, self.pos as u64),
+            self.instrs.len() as u64,
+        );
+        Some(self.instrs.iter().fold(h, fold_instr))
+    }
 }
 
 /// A program that computes forever (1 unit per step). Used to fill
@@ -193,6 +255,11 @@ pub struct IdleProgram;
 impl Program for IdleProgram {
     fn next(&mut self, _feedback: &StepFeedback) -> Instr {
         Instr::Compute(1)
+    }
+
+    /// Stateless: every idle program behaves identically.
+    fn content_fingerprint(&self) -> Option<u64> {
+        Some(mix_digest(OBS_DIGEST_SEED, 0x1d1e))
     }
 }
 
@@ -238,5 +305,42 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(p.next(&StepFeedback::default()), Instr::Compute(1));
         }
+    }
+
+    #[test]
+    fn content_fingerprints_separate_programs() {
+        use tp_hw::types::VAddr;
+        let fp = |instrs: Vec<Instr>| TraceProgram::new(instrs).content_fingerprint().unwrap();
+        // Same payload word under different arms must not collide.
+        assert_ne!(
+            fp(vec![Instr::Load(VAddr(64))]),
+            fp(vec![Instr::Store(VAddr(64))])
+        );
+        assert_ne!(
+            fp(vec![Instr::Compute(64)]),
+            fp(vec![Instr::Load(VAddr(64))])
+        );
+        assert_ne!(
+            fp(vec![Instr::Syscall(SyscallReq::MapPage { vpn: 3 })]),
+            fp(vec![Instr::Syscall(SyscallReq::UnmapPage { vpn: 3 })])
+        );
+        assert_ne!(fp(vec![]), fp(vec![Instr::Halt]));
+        // Equal programs fingerprint equally; clones too.
+        let p = TraceProgram::loads([0x1000, 0x2000]);
+        assert_eq!(p.content_fingerprint(), p.clone().content_fingerprint());
+        // Advancing the replay position changes the fingerprint.
+        let mut q = p.clone();
+        q.next(&StepFeedback::default());
+        assert_ne!(p.content_fingerprint(), q.content_fingerprint());
+        // Observed clocks are bookkeeping, not behaviour.
+        let mut r = TraceProgram::new(vec![Instr::ReadClock]);
+        let mut s = r.clone();
+        r.next(&StepFeedback::default());
+        s.next(&StepFeedback {
+            clock: Some(Cycles(7)),
+            ..Default::default()
+        });
+        assert_eq!(r.content_fingerprint(), s.content_fingerprint());
+        assert!(IdleProgram.content_fingerprint().is_some());
     }
 }
