@@ -4,11 +4,13 @@
 //!
 //! ```sh
 //! all [--threads N] [--cells SPEC] [--models N] [--replay-check]
+//!     [--metrics] [--trace-out FILE]
 //! ```
 //!
 //! `--cells` / `--models` / `--replay-check` shape the final matrix
 //! phase (the E1–E14 reports are fixed-size); `--threads` sizes the
-//! pool for everything.
+//! pool for everything. `--metrics` / `--trace-out` observe the whole
+//! run — report phases included — since the sink is process-global.
 
 use tp_bench::cli::SweepArgs;
 
@@ -21,13 +23,17 @@ fn main() {
         }
         Err(e) => {
             eprintln!("all: {e}");
-            eprintln!("usage: all [--threads N] [--cells SPEC] [--models N] [--replay-check]");
+            eprintln!(
+                "usage: all [--threads N] [--cells SPEC] [--models N] [--replay-check] \
+                 [--metrics] [--trace-out FILE]"
+            );
             std::process::exit(2);
         }
     };
     if let Some(n) = args.threads {
         tp_sched::configure_global_threads(n);
     }
+    tp_bench::install_sink(args.metrics, args.trace_out.is_some());
 
     // Validate the matrix selection up front: a bad --cells index must
     // fail in milliseconds, not after the full E1–E14 report phase.
@@ -66,11 +72,12 @@ fn main() {
     }
 
     println!("\n=== Scenario matrix (the suite as one engine run) ===");
-    let proved = tp_bench::run_matrix_cells(&matrix, &indices, |line| eprintln!("{line}"));
+    let proved = tp_bench::run_matrix_cells(&matrix, &indices, |_, _, line| eprintln!("{line}"));
     print!(
         "{}",
         tp_bench::render_matrix_report(&tp_core::MatrixReport {
             cells: proved.into_iter().map(|(_, c, r)| (c, r)).collect(),
         })
     );
+    tp_bench::finish_telemetry(args.metrics, args.trace_out.as_deref(), indices.len());
 }

@@ -13,6 +13,7 @@
 //!
 //! ```sh
 //! bench [--smoke] [--threads N] [--out FILE] [--check] [--band F] [--cache PATH]
+//!       [--metrics] [--trace-out FILE]
 //! ```
 //!
 //! `--smoke` shrinks both workloads to CI size (seconds, not minutes)
@@ -39,8 +40,10 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use tp_bench::trajectory::{self, check_trend, RunRecord, Trajectory, TrendVerdict};
-use tp_bench::{canonical_machine, canonical_scenario, time_iters};
+use tp_bench::trajectory::{
+    self, best_comparable, check_trend, RunRecord, Trajectory, TrendVerdict,
+};
+use tp_bench::{canonical_machine, canonical_scenario, host_info, time_iters};
 use tp_core::engine::{check_exhaustive_parallel_on, ProofMode, ScenarioMatrix};
 use tp_core::exhaustive::{space_size, ExhaustiveConfig};
 use tp_core::{default_time_models, MatrixReport};
@@ -53,6 +56,8 @@ struct Args {
     check: bool,
     band: f64,
     cache: Option<String>,
+    metrics: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +68,8 @@ fn parse_args() -> Result<Args, String> {
         check: false,
         band: trajectory::DEFAULT_BAND,
         cache: None,
+        metrics: false,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -87,29 +94,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = it.next().ok_or("--out needs a value")?,
             "--cache" => args.cache = Some(it.next().ok_or("--cache needs a path")?),
+            "--metrics" => args.metrics = true,
+            "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     Ok(args)
-}
-
-/// Host metadata for the run entry: what the trend gate keys
-/// comparability on, plus provenance (git rev, timestamp).
-fn host_info() -> (usize, String, u64) {
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let git_rev = std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string());
-    let unix_time = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.as_secs());
-    (cpus, git_rev, unix_time)
 }
 
 /// The benched E11 sweep: canonical machine, all ablations, the first
@@ -130,13 +120,17 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("bench: {e}");
-            eprintln!("usage: bench [--smoke] [--threads N] [--out FILE]");
+            eprintln!(
+                "usage: bench [--smoke] [--threads N] [--out FILE] [--check] [--band F] \
+                 [--cache PATH] [--metrics] [--trace-out FILE]"
+            );
             std::process::exit(2);
         }
     };
     if let Some(n) = args.threads {
         tp_sched::configure_global_threads(n);
     }
+    tp_bench::install_sink(args.metrics, args.trace_out.is_some());
     let threads = tp_sched::global().threads();
     let (iters, models, exh_len) = if args.smoke { (1, 1, 2) } else { (3, 2, 3) };
 
@@ -169,7 +163,7 @@ fn main() {
                 |cell| canonical_scenario(cell.disable),
                 |_, _, _| {},
             );
-            eprintln!("cache: {stats} — {} entries", cache.len());
+            eprintln!("{}", tp_bench::cache_summary(&stats, cache.len()));
             if let Err(e) = std::fs::write(path, cache.save()) {
                 eprintln!("bench: cannot write cache {path}: {e}");
                 std::process::exit(2);
@@ -238,8 +232,22 @@ fn main() {
     writeln!(json, "    \"programs\": {programs},").unwrap();
     writeln!(json, "    \"seconds\": {:.6},", secs(t_exh)).unwrap();
     writeln!(json, "    \"programs_per_sec\": {programs_per_sec:.3}").unwrap();
-    writeln!(json, "  }}").unwrap();
+    write!(json, "  }}").unwrap();
+    // With a sink installed, the run entry also carries the counter and
+    // span totals — the same object the trace manifest embeds — so a
+    // trajectory entry can be cross-checked against its trace file.
+    if let Some(snap) = tp_telemetry::snapshot() {
+        let mut compact = String::new();
+        tp_bench::telemetry_json(&snap).render_compact(&mut compact);
+        writeln!(json, ",\n  \"telemetry\": {compact}").unwrap();
+    } else {
+        writeln!(json).unwrap();
+    }
     writeln!(json, "}}").unwrap();
+
+    // Surface telemetry before the gates below can exit: a failing run
+    // is exactly the one whose trace is worth keeping.
+    tp_bench::finish_telemetry(args.metrics, args.trace_out.as_deref(), cells);
 
     // A bench that measured a broken engine would poison the
     // trajectory: fail loudly before touching the file.
@@ -271,6 +279,9 @@ fn main() {
 
     if args.check {
         // Gate-only mode: compare, report, leave the file untouched.
+        // Always say *which* entry the gate compared against — a PASS
+        // over the wrong baseline is worse than a failure.
+        let baseline = best_comparable(&history.runs, &fresh);
         match check_trend(&history.runs, &fresh, args.band) {
             TrendVerdict::Pass {
                 baseline_ns_per_step,
@@ -280,11 +291,14 @@ fn main() {
                      {baseline_ns_per_step:.3} (band {:.0}%)",
                     args.band * 100.0
                 );
+                if let Some(b) = baseline {
+                    eprintln!("trend gate: baseline {}", b.describe());
+                }
             }
             TrendVerdict::NoComparableBaseline => {
                 eprintln!(
-                    "trend gate: no comparable run in {} (threads={threads}, cpus={cpus}, \
-                     smoke={}) — passing vacuously",
+                    "trend gate: vacuous: no comparable host in {} (threads={threads}, \
+                     cpus={cpus}, smoke={}) — passing",
                     args.out, args.smoke
                 );
             }
@@ -299,6 +313,9 @@ fn main() {
                      + {:.0}% band)",
                     args.band * 100.0
                 );
+                if let Some(b) = baseline {
+                    eprintln!("trend gate: baseline {}", b.describe());
+                }
                 std::process::exit(1);
             }
         }

@@ -19,7 +19,13 @@
 //! # incremental: first run populates the cache, later runs re-prove
 //! # only cells whose inputs changed — stdout stays byte-identical
 //! matrix --cache proofs.cache
+//!
+//! # observability: counter summary, span trace + manifest, heartbeat
+//! matrix --metrics --trace-out trace.jsonl --progress
 //! ```
+
+use std::io::IsTerminal;
+use std::time::Instant;
 
 use tp_bench::cli::SweepArgs;
 
@@ -30,7 +36,8 @@ fn main() {
             eprintln!("matrix: {e}");
             eprintln!(
                 "usage: matrix [--threads N] [--cells SPEC] [--models N] [--replay-check] \
-                 [--cache PATH] [--worker | --merge FILE...]"
+                 [--cache PATH] [--metrics] [--trace-out FILE] [--progress] \
+                 [--worker | --merge FILE...]"
             );
             std::process::exit(2);
         }
@@ -38,6 +45,7 @@ fn main() {
     if let Some(n) = args.threads {
         tp_sched::configure_global_threads(n);
     }
+    tp_bench::install_sink(args.metrics, args.trace_out.is_some());
 
     // Merge mode touches no scenario — it only reassembles records.
     if !args.merge.is_empty() {
@@ -70,8 +78,20 @@ fn main() {
         }
     };
 
+    // Heartbeat only when a human is plausibly watching: `--progress`
+    // asked for it AND stderr is a terminal (CI logs and redirects
+    // keep the plain per-cell lines only).
+    let heartbeat = args.progress && std::io::stderr().is_terminal();
+    let t0 = Instant::now();
+    let progress = move |done: usize, total: usize, line: &str| {
+        eprintln!("{line}");
+        if heartbeat {
+            eprintln!("{}", tp_bench::eta_line(done, total, t0.elapsed()));
+        }
+    };
+
     let proved = match &args.cache {
-        None => tp_bench::run_matrix_cells(&matrix, &indices, |line| eprintln!("{line}")),
+        None => tp_bench::run_matrix_cells(&matrix, &indices, progress),
         Some(path) => {
             // A missing cache file is a cold start, not an error; a
             // malformed one is untrusted input and fails loudly rather
@@ -91,10 +111,8 @@ fn main() {
                 }
             };
             let (proved, stats) =
-                tp_bench::run_matrix_cells_cached(&matrix, &indices, &mut cache, |line| {
-                    eprintln!("{line}")
-                });
-            eprintln!("cache: {stats} — {} entries", cache.len());
+                tp_bench::run_matrix_cells_cached(&matrix, &indices, &mut cache, progress);
+            eprintln!("{}", tp_bench::cache_summary(&stats, cache.len()));
             if let Err(e) = std::fs::write(path, cache.save()) {
                 eprintln!("matrix: cannot write cache {path}: {e}");
                 std::process::exit(2);
@@ -102,6 +120,8 @@ fn main() {
             proved
         }
     };
+
+    tp_bench::finish_telemetry(args.metrics, args.trace_out.as_deref(), indices.len());
 
     if args.worker {
         // Wire records only on stdout: shard outputs concatenate.

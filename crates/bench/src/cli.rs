@@ -22,6 +22,17 @@
 //!   cache back. Reports stay byte-identical to an uncached run; the
 //!   hit/re-prove statistics go to stderr.
 //!
+//! Telemetry flags (PR 8), all off by default so the proof hot path
+//! keeps its null-sink fast path:
+//!
+//! * `--metrics` — install a counting telemetry sink and print the
+//!   human summary table (pool/cache/exhaustive counters, span
+//!   aggregates) to stderr after the run.
+//! * `--trace-out FILE` — install a JSON-lines tracing sink and write
+//!   every span plus a machine-readable run manifest to `FILE`.
+//! * `--progress` — heartbeat to stderr (cells completed / total, ETA)
+//!   while a grid runs; auto-disabled when stderr is not a TTY.
+//!
 //! `bin/matrix` additionally understands the scale-out modes:
 //!
 //! * `--worker` — prove the selected cells and print wire records
@@ -46,6 +57,12 @@ pub struct SweepArgs {
     pub worker: bool,
     /// `--merge FILE...` (everything after the flag).
     pub merge: Vec<String>,
+    /// `--metrics`.
+    pub metrics: bool,
+    /// `--trace-out FILE`.
+    pub trace_out: Option<String>,
+    /// `--progress`.
+    pub progress: bool,
 }
 
 impl SweepArgs {
@@ -82,6 +99,12 @@ impl SweepArgs {
                     out.cache = Some(v);
                 }
                 "--worker" => out.worker = true,
+                "--metrics" => out.metrics = true,
+                "--trace-out" => {
+                    let v = args.next().ok_or("--trace-out needs a path")?;
+                    out.trace_out = Some(v);
+                }
+                "--progress" => out.progress = true,
                 "--merge" => {
                     out.merge.extend(args.by_ref());
                     if out.merge.is_empty() {
@@ -96,6 +119,9 @@ impl SweepArgs {
         }
         if out.cache.is_some() && !out.merge.is_empty() {
             return Err("--cache does not apply to --merge".into());
+        }
+        if out.trace_out.is_some() && !out.merge.is_empty() {
+            return Err("--trace-out does not apply to --merge".into());
         }
         Ok(out)
     }
@@ -208,6 +234,21 @@ mod tests {
         let m = SweepArgs::parse(strs(&["--merge", "a.txt", "b.txt"])).unwrap();
         assert_eq!(m.merge, vec!["a.txt", "b.txt"]);
         assert!(SweepArgs::parse(strs(&["--worker", "--merge", "a"])).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let a =
+            SweepArgs::parse(strs(&["--metrics", "--trace-out", "t.jsonl", "--progress"])).unwrap();
+        assert!(a.metrics && a.progress);
+        assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
+        let d = SweepArgs::default();
+        assert!(!d.metrics && !d.progress && d.trace_out.is_none());
+        assert!(SweepArgs::parse(strs(&["--trace-out"])).is_err());
+        // A traced worker shard is fine; a traced merge proves nothing.
+        let w = SweepArgs::parse(strs(&["--worker", "--trace-out", "t"])).unwrap();
+        assert!(w.worker && w.trace_out.is_some());
+        assert!(SweepArgs::parse(strs(&["--trace-out", "t", "--merge", "a"])).is_err());
     }
 
     #[test]

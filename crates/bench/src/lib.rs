@@ -47,6 +47,148 @@ pub fn time_iters<R>(
     (total, min)
 }
 
+/// Host metadata shared by the bench trajectory and telemetry
+/// manifests: `(cpus, git_rev, unix_time)` — hardware parallelism,
+/// `git rev-parse --short HEAD` (or `"unknown"`), and seconds since the
+/// Unix epoch.
+pub fn host_info() -> (usize, String, u64) {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    (cpus, git_rev, unix_time)
+}
+
+/// The `cache:` stderr line every binary prints after a cached sweep —
+/// one formatter ([`tp_telemetry::cache_line`]) for the ad-hoc line and
+/// the `--metrics` table, so the cold/warm CI job greps one schema.
+pub fn cache_summary(stats: &tp_core::CacheStats, entries: usize) -> String {
+    tp_telemetry::cache_line(
+        stats.hits,
+        stats.misses,
+        stats.rejected,
+        stats.uncacheable,
+        entries,
+    )
+}
+
+/// One `--progress` heartbeat line: completed/total cells, elapsed wall
+/// time, and a linear ETA extrapolated from the streaming completion
+/// order. Pure so it is testable; the binaries decide when (and
+/// whether) to print it.
+pub fn eta_line(done: usize, total: usize, elapsed: std::time::Duration) -> String {
+    let secs = elapsed.as_secs_f64();
+    let pct = (done * 100).checked_div(total).unwrap_or(100);
+    if done == 0 || total == 0 {
+        return format!("progress: {done}/{total} cells ({pct}%), elapsed {secs:.1}s");
+    }
+    let eta = secs * (total - done) as f64 / done as f64;
+    format!("progress: {done}/{total} cells ({pct}%), elapsed {secs:.1}s, eta {eta:.1}s")
+}
+
+/// A telemetry snapshot as a [`trajectory::Json`] object: every counter
+/// by its wire name (plus `pool_peak_queue`), and per-span-kind
+/// `{"n", "total_us"}` aggregates.
+pub fn telemetry_json(snap: &tp_telemetry::Snapshot) -> trajectory::Json {
+    use trajectory::Json;
+    let mut counters: Vec<(String, Json)> = tp_telemetry::Counter::ALL
+        .iter()
+        .map(|&c| (c.name().to_string(), Json::Num(snap.counter(c) as f64)))
+        .collect();
+    counters.push(("pool_peak_queue".into(), Json::Num(snap.peak_queue as f64)));
+    let spans: Vec<(String, Json)> = tp_telemetry::SpanKind::ALL
+        .iter()
+        .map(|&k| {
+            let (n, us) = snap.span(k);
+            (
+                k.name().to_string(),
+                Json::Obj(vec![
+                    ("n".into(), Json::Num(n as f64)),
+                    ("total_us".into(), Json::Num(us as f64)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("counters".into(), Json::Obj(counters)),
+        ("spans".into(), Json::Obj(spans)),
+    ])
+}
+
+/// The per-run manifest record a trace file ends with: provenance
+/// (git rev, timestamp), sizing (threads, cpus, flags, cell count),
+/// wall time, and the full counter/span totals — rendered as one
+/// compact JSON line (schema `tp-telemetry/v1`).
+pub fn telemetry_manifest(flags: &str, cells: usize, snap: &tp_telemetry::Snapshot) -> String {
+    use trajectory::Json;
+    let (cpus, git_rev, unix_time) = host_info();
+    let threads = tp_sched::global().threads();
+    let mut members = vec![
+        ("t".to_string(), Json::Str("manifest".into())),
+        ("schema".to_string(), Json::Str("tp-telemetry/v1".into())),
+        ("git_rev".to_string(), Json::Str(git_rev)),
+        ("unix_time".to_string(), Json::Num(unix_time as f64)),
+        ("threads".to_string(), Json::Num(threads as f64)),
+        ("cpus".to_string(), Json::Num(cpus as f64)),
+        ("flags".to_string(), Json::Str(flags.to_string())),
+        ("cells".to_string(), Json::Num(cells as f64)),
+        (
+            "wall_ms".to_string(),
+            Json::Num((snap.wall.as_micros() as f64) / 1000.0),
+        ),
+    ];
+    let Json::Obj(tele) = telemetry_json(snap) else {
+        unreachable!("telemetry_json returns an object");
+    };
+    members.extend(tele);
+    let mut out = String::new();
+    Json::Obj(members).render_compact(&mut out);
+    out
+}
+
+/// Install the telemetry sink a binary's flags ask for: JSON-lines when
+/// tracing (counting is included), counters for `--metrics` alone, and
+/// nothing — the null fast path — when both are off.
+pub fn install_sink(metrics: bool, tracing: bool) {
+    if tracing {
+        tp_telemetry::install(tp_telemetry::TelemetrySink::json_lines());
+    } else if metrics {
+        tp_telemetry::install(tp_telemetry::TelemetrySink::counters());
+    }
+}
+
+/// Post-run telemetry surfacing, shared by `bin/matrix`, `bin/bench`
+/// and `bin/all`: print the `--metrics` summary table to stderr, and
+/// write the drained span trace plus the run manifest to `--trace-out`.
+/// `cells` is the number of proof cells the run covered (manifest
+/// bookkeeping only).
+pub fn finish_telemetry(metrics: bool, trace_out: Option<&str>, cells: usize) {
+    let Some(snap) = tp_telemetry::snapshot() else {
+        return;
+    };
+    if metrics {
+        eprint!("{}", snap.render_table());
+    }
+    if let Some(path) = trace_out {
+        let mut trace = tp_telemetry::take_trace().unwrap_or_default();
+        let flags: Vec<String> = std::env::args().skip(1).collect();
+        trace.push_str(&telemetry_manifest(&flags.join(" "), cells, &snap));
+        trace.push('\n');
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("telemetry: cannot write trace {path}: {e}");
+        }
+    }
+}
+
 /// Format a channel matrix summary line.
 pub fn matrix_summary(name: &str, m: &ChannelMatrix) -> String {
     format!(
@@ -615,21 +757,23 @@ pub fn report_e14(max_len: usize) -> String {
 pub fn report_matrix() -> String {
     let matrix = canonical_matrix();
     let all: Vec<usize> = (0..matrix.cells().len()).collect();
-    let proved = run_matrix_cells(&matrix, &all, |_| {});
+    let proved = run_matrix_cells(&matrix, &all, |_, _, _| {});
     render_matrix_report(&tp_core::MatrixReport {
         cells: proved.into_iter().map(|(_, c, r)| (c, r)).collect(),
     })
 }
 
 /// Prove the canonical scenario on the cells at `indices` of `matrix`,
-/// flattened into one pool submission, streaming one progress line per
-/// finished cell (in deterministic order) to `progress`. `bin/matrix`
-/// points `progress` at stderr so long sweeps show life without
-/// disturbing the report (or wire records) on stdout.
+/// flattened into one pool submission, streaming one progress call per
+/// finished cell (in deterministic order) to `progress` as
+/// `(done, total, line)`. `bin/matrix` points `progress` at stderr so
+/// long sweeps show life without disturbing the report (or wire
+/// records) on stdout; the counts also feed the `--progress` ETA
+/// heartbeat.
 pub fn run_matrix_cells(
     matrix: &tp_core::ScenarioMatrix,
     indices: &[usize],
-    mut progress: impl FnMut(&str),
+    mut progress: impl FnMut(usize, usize, &str),
 ) -> Vec<(usize, tp_core::MatrixCell, tp_core::ProofReport)> {
     let total = indices.len();
     let mut done = 0usize;
@@ -639,15 +783,19 @@ pub fn run_matrix_cells(
         |cell| canonical_scenario(cell.disable),
         |ci, cell, r| {
             done += 1;
-            progress(&format!(
-                "[{done}/{total}] cell {ci}: {:<28} {}",
-                cell.label(),
-                if r.time_protection_proved() {
-                    "PROVED"
-                } else {
-                    "NOT proved"
-                }
-            ));
+            progress(
+                done,
+                total,
+                &format!(
+                    "[{done}/{total}] cell {ci}: {:<28} {}",
+                    cell.label(),
+                    if r.time_protection_proved() {
+                        "PROVED"
+                    } else {
+                        "NOT proved"
+                    }
+                ),
+            );
         },
     )
 }
@@ -663,7 +811,7 @@ pub fn run_matrix_cells_cached(
     matrix: &tp_core::ScenarioMatrix,
     indices: &[usize],
     cache: &mut tp_core::ProofCache,
-    mut progress: impl FnMut(&str),
+    mut progress: impl FnMut(usize, usize, &str),
 ) -> (
     Vec<(usize, tp_core::MatrixCell, tp_core::ProofReport)>,
     tp_core::CacheStats,
@@ -677,15 +825,19 @@ pub fn run_matrix_cells_cached(
         |cell| canonical_scenario(cell.disable),
         |ci, cell, r| {
             done += 1;
-            progress(&format!(
-                "[{done}/{total}] cell {ci}: {:<28} {}",
-                cell.label(),
-                if r.time_protection_proved() {
-                    "PROVED"
-                } else {
-                    "NOT proved"
-                }
-            ));
+            progress(
+                done,
+                total,
+                &format!(
+                    "[{done}/{total}] cell {ci}: {:<28} {}",
+                    cell.label(),
+                    if r.time_protection_proved() {
+                        "PROVED"
+                    } else {
+                        "NOT proved"
+                    }
+                ),
+            );
         },
     )
 }
@@ -803,6 +955,70 @@ mod tests {
         let r = report_e4();
         assert!(r.contains("padded"));
         assert!(r.contains(&format!("{}", exp::E4_SLICE + exp::PAD)));
+    }
+
+    #[test]
+    fn eta_line_extrapolates_linearly() {
+        let d = std::time::Duration::from_secs(3);
+        assert_eq!(
+            eta_line(3, 21, d),
+            "progress: 3/21 cells (14%), elapsed 3.0s, eta 18.0s"
+        );
+        // Nothing done yet: no ETA claim, no division by zero.
+        assert_eq!(
+            eta_line(0, 21, d),
+            "progress: 0/21 cells (0%), elapsed 3.0s"
+        );
+        assert_eq!(
+            eta_line(0, 0, d),
+            "progress: 0/0 cells (100%), elapsed 3.0s"
+        );
+    }
+
+    #[test]
+    fn cache_summary_matches_the_pinned_stderr_schema() {
+        let stats = tp_core::CacheStats {
+            hits: 3,
+            misses: 2,
+            rejected: 1,
+            uncacheable: 0,
+        };
+        // The exact line the cold/warm CI job greps — and the same text
+        // `CacheStats: Display` renders inside it.
+        assert_eq!(
+            cache_summary(&stats, 7),
+            "cache: 3 hits, 3 re-proved (2 missed, 1 rejected, 0 uncacheable) — 7 entries"
+        );
+        assert_eq!(
+            cache_summary(&stats, 7),
+            format!("cache: {stats} — 7 entries")
+        );
+    }
+
+    #[test]
+    fn telemetry_manifest_is_one_parseable_line_with_the_v1_schema() {
+        // Drive the global sink briefly to get a live snapshot; other
+        // tests in this binary may add counts, which is fine — the
+        // manifest shape is what's under test.
+        tp_telemetry::install(tp_telemetry::TelemetrySink::counters());
+        tp_telemetry::count(tp_telemetry::Counter::PoolSubmitted);
+        let snap = tp_telemetry::snapshot().expect("sink installed");
+        let line = telemetry_manifest("--models 1", 4, &snap);
+        tp_telemetry::install(tp_telemetry::TelemetrySink::Null);
+
+        assert!(!line.contains('\n'), "one line: {line}");
+        let v = trajectory::Json::parse(&line).expect("manifest parses");
+        assert_eq!(v.get("t").unwrap().as_str(), Some("manifest"));
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("tp-telemetry/v1"));
+        assert_eq!(v.get("cells").unwrap().as_f64(), Some(4.0));
+        assert_eq!(v.get("flags").unwrap().as_str(), Some("--models 1"));
+        let counters = v.get("counters").unwrap();
+        assert!(counters.get("pool_submitted").unwrap().as_f64().unwrap() >= 1.0);
+        assert!(counters.get("pool_peak_queue").is_some());
+        let spans = v.get("spans").unwrap();
+        for kind in ["queue-wait", "prove", "lockstep", "replay", "verify"] {
+            assert!(spans.get(kind).unwrap().get("n").is_some(), "{kind}");
+        }
     }
 
     #[test]

@@ -97,6 +97,41 @@ impl Json {
         Ok(v)
     }
 
+    /// Render as a single line with no whitespace — the JSON-lines form
+    /// trace files use, where one value must stay on one line.
+    pub fn render_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => render_num(out, *n),
+            Json::Str(s) => render_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(out, k);
+                    out.push(':');
+                    v.render_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Render back to JSON text, `indent` levels deep (2 spaces each).
     pub fn render(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
@@ -337,9 +372,29 @@ impl Parser<'_> {
         std::str::from_utf8(&self.bytes[start..self.pos])
             .unwrap()
             .parse::<f64>()
+            .ok()
+            // JSON has no Infinity/NaN: an overflowing literal like
+            // "1e999" parses to `inf` at the f64 layer but must not be
+            // accepted as a value.
+            .filter(|n| n.is_finite())
             .map(Json::Num)
-            .map_err(|_| format!("bad number at byte {start}"))
+            .ok_or_else(|| format!("bad number at byte {start}"))
     }
+}
+
+/// Parse a JSON-lines document (e.g. a `--trace-out` file): one value
+/// per line, blank lines skipped, `\r\n` endings accepted. Errors carry
+/// the 1-based line number.
+pub fn parse_json_lines(text: &str) -> Result<Vec<Json>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
 }
 
 /// Per-run host metadata: the comparability key of the trend gate.
@@ -419,6 +474,21 @@ impl RunRecord {
                 self.smoke == other.smoke && a.threads == b.threads && a.cpus == b.cpus
             }
             _ => false,
+        }
+    }
+
+    /// One-line identification of this run for trend-gate logs: which
+    /// commit, when, and under what conditions it was measured.
+    pub fn describe(&self) -> String {
+        match &self.host {
+            Some(h) => format!(
+                "git_rev={} unix_time={} threads={} cpus={} smoke={} ns_per_step={:.3}",
+                h.git_rev, h.unix_time, h.threads, h.cpus, self.smoke, self.ns_per_step
+            ),
+            None => format!(
+                "(no host metadata) smoke={} ns_per_step={:.3}",
+                self.smoke, self.ns_per_step
+            ),
         }
     }
 }
@@ -504,17 +574,25 @@ impl TrendVerdict {
     }
 }
 
+/// The committed run `fresh` actually gates against: the fastest
+/// (lowest `ns_per_step`) comparable entry in `history`, or `None` when
+/// no entry is comparable (the vacuous-pass case). Exposed so drivers
+/// can *say* which entry a trend verdict was judged against.
+pub fn best_comparable<'a>(history: &'a [RunRecord], fresh: &RunRecord) -> Option<&'a RunRecord> {
+    history
+        .iter()
+        .filter(|r| fresh.comparable(r))
+        .min_by(|a, b| a.ns_per_step.total_cmp(&b.ns_per_step))
+}
+
 /// Gate `fresh` against `history`: find the best (fastest) comparable
-/// committed run and fail if the fresh `ns_per_step` exceeds it by more
-/// than `band` (a fraction — see [`DEFAULT_BAND`]), or if exhaustive
-/// throughput fell below `1 / (1 + band)` of the comparable best.
+/// committed run ([`best_comparable`]) and fail if the fresh
+/// `ns_per_step` exceeds it by more than `band` (a fraction — see
+/// [`DEFAULT_BAND`]), or if exhaustive throughput fell below
+/// `1 / (1 + band)` of the comparable best.
 pub fn check_trend(history: &[RunRecord], fresh: &RunRecord, band: f64) -> TrendVerdict {
     let comparable: Vec<&RunRecord> = history.iter().filter(|r| fresh.comparable(r)).collect();
-    let Some(baseline) = comparable
-        .iter()
-        .map(|r| r.ns_per_step)
-        .min_by(|a, b| a.total_cmp(b))
-    else {
+    let Some(baseline) = best_comparable(history, fresh).map(|r| r.ns_per_step) else {
         return TrendVerdict::NoComparableBaseline;
     };
     let limit = baseline * (1.0 + band);
@@ -582,6 +660,51 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "truex", "{\"a\":1} tail"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn render_compact_is_single_line_and_round_trips() {
+        let text = r#"{"a": [1, 2.5, -3], "b": {"c": "x\"y", "d": true}, "e": null}"#;
+        let v = Json::parse(text).unwrap();
+        let mut out = String::new();
+        v.render_compact(&mut out);
+        assert!(!out.contains('\n'), "{out}");
+        assert!(!out.contains(": "), "no pretty separators: {out}");
+        assert_eq!(Json::parse(&out).unwrap(), v);
+        assert_eq!(
+            out,
+            r#"{"a":[1,2.5,-3],"b":{"c":"x\"y","d":true},"e":null}"#
+        );
+    }
+
+    #[test]
+    fn json_lines_parse_with_blanks_and_errors_carry_line_numbers() {
+        let doc = "{\"t\":\"span\",\"dur_us\":3}\n\n{\"t\":\"manifest\"}\n";
+        let vals = parse_json_lines(doc).unwrap();
+        assert_eq!(vals.len(), 2);
+        assert_eq!(vals[1].get("t").unwrap().as_str(), Some("manifest"));
+        let err = parse_json_lines("{\"ok\":1}\n{broken\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn best_comparable_picks_the_fastest_matching_host() {
+        let history = vec![
+            run(90.0, 14_000.0, 1, 1, false),
+            run(85.0, 15_000.0, 1, 1, false),
+            run(20.0, 90_000.0, 4, 16, false),
+        ];
+        let fresh = run(100.0, 14_500.0, 1, 1, false);
+        let best = best_comparable(&history, &fresh).unwrap();
+        assert_eq!(best.ns_per_step, 85.0);
+        assert!(best.describe().contains("threads=1"), "{}", best.describe());
+        assert!(
+            best.describe().contains("git_rev=abc1234"),
+            "{}",
+            best.describe()
+        );
+        let foreign = run(100.0, 14_500.0, 2, 8, false);
+        assert!(best_comparable(&history, &foreign).is_none());
     }
 
     #[test]

@@ -77,6 +77,11 @@ fn slowed_history_lets_a_real_run_pass() {
     let (ok, stderr, after) = run_check("pass", &traj);
     assert!(ok, "gate should pass against a slow baseline:\n{stderr}");
     assert!(stderr.contains("trend gate: PASS"), "{stderr}");
+    // The gate must say which committed entry it judged against.
+    assert!(
+        stderr.contains("trend gate: baseline git_rev=0000000"),
+        "{stderr}"
+    );
     assert_eq!(after, traj, "--check must not rewrite the trajectory");
 }
 
@@ -91,6 +96,10 @@ fn fast_history_fails_a_real_run() {
         "gate must fail against an impossible baseline:\n{stderr}"
     );
     assert!(stderr.contains("trend gate: REGRESSION"), "{stderr}");
+    assert!(
+        stderr.contains("trend gate: baseline git_rev=0000000"),
+        "{stderr}"
+    );
     assert_eq!(
         after, traj,
         "a failing --check must not rewrite the trajectory"
@@ -104,5 +113,5 @@ fn foreign_host_passes_vacuously() {
     let traj = synthetic_trajectory(1e-3, 1e12, host_cpus() + 1);
     let (ok, stderr, _) = run_check("foreign", &traj);
     assert!(ok, "incomparable history must pass vacuously:\n{stderr}");
-    assert!(stderr.contains("passing vacuously"), "{stderr}");
+    assert!(stderr.contains("vacuous: no comparable host"), "{stderr}");
 }

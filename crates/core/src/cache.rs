@@ -253,16 +253,17 @@ impl CacheStats {
 }
 
 impl core::fmt::Display for CacheStats {
+    /// Delegates to [`tp_telemetry::cache_counts`] — the same formatter
+    /// the `--metrics` summary table uses, so cached and uncached runs
+    /// report cache resolution through one code path (the cold/warm CI
+    /// job greps this schema).
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "{} hits, {} re-proved ({} missed, {} rejected, {} uncacheable)",
+        f.write_str(&tp_telemetry::cache_counts(
             self.hits,
-            self.reproved(),
             self.misses,
             self.rejected,
-            self.uncacheable
-        )
+            self.uncacheable,
+        ))
     }
 }
 

@@ -61,6 +61,7 @@ use tp_kernel::domain::{DomainId, ObsEvent};
 use tp_kernel::kernel::System;
 use tp_kernel::program::Instr;
 use tp_sched::{OrderedResults, WorkerPool};
+use tp_telemetry::{Counter, SpanKind};
 
 pub use tp_sched::available_threads;
 
@@ -164,6 +165,9 @@ struct ProofTask {
     lo: DomainId,
     budget: Cycles,
     max_steps: usize,
+    /// Matrix cell index this shard belongs to (0 for single-scenario
+    /// drivers) — telemetry attribution only, never part of the proof.
+    cell: usize,
 }
 
 impl ProofTask {
@@ -187,6 +191,7 @@ impl ProofTask {
     /// model: both systems run (recording) only up to the first
     /// diverging Lo event.
     fn lockstep_leak(&self, other: &ProofTask, secret_a: u64, secret_b: u64) -> NiVerdict {
+        let span = tp_telemetry::span_start();
         let (divergence, event_a, event_b) = lockstep_divergence(
             self.build(),
             other.build(),
@@ -195,6 +200,14 @@ impl ProofTask {
             self.max_steps,
         )
         .expect("a fingerprint mismatch implies a trace divergence");
+        if let Some(start) = span {
+            tp_telemetry::span(
+                SpanKind::Lockstep,
+                self.cell,
+                tp_sched::current_worker(),
+                start,
+            );
+        }
         NiVerdict::Leak {
             secret_a,
             secret_b,
@@ -215,6 +228,15 @@ enum EngineTask {
     /// The plain replay of the first (model, secret) pair whose digest
     /// grounds the [`TransparencyCert`] (certified mode only).
     CertReplay(ProofTask),
+}
+
+impl EngineTask {
+    /// The matrix cell this task proves (telemetry attribution).
+    fn cell(&self) -> usize {
+        match self {
+            EngineTask::Run(t) | EngineTask::CertReplay(t) => t.cell,
+        }
+    }
 }
 
 /// Per-(model, secret) evidence produced by one worker.
@@ -261,8 +283,14 @@ struct ProofBatch {
 /// certified modes the certification replay leads the list so it
 /// overlaps the monitored runs on the pool. Kernel configurations are
 /// built once per secret and `Arc`-shared across models; machines once
-/// per model, shared across secrets.
-fn proof_tasks(scenario: &NiScenario, models: &[TimeModel], mode: ProofMode) -> ProofBatch {
+/// per model, shared across secrets. `cell` is the matrix cell index
+/// the shards report telemetry under (0 for single-scenario drivers).
+fn proof_tasks(
+    scenario: &NiScenario,
+    models: &[TimeModel],
+    mode: ProofMode,
+    cell: usize,
+) -> ProofBatch {
     let kcfgs: Vec<Arc<KernelConfig>> = scenario
         .secrets
         .iter()
@@ -280,6 +308,7 @@ fn proof_tasks(scenario: &NiScenario, models: &[TimeModel], mode: ProofMode) -> 
                 lo: scenario.lo,
                 budget: scenario.budget,
                 max_steps: scenario.max_steps,
+                cell,
             });
         }
     }
@@ -297,19 +326,33 @@ fn proof_tasks(scenario: &NiScenario, models: &[TimeModel], mode: ProofMode) -> 
 /// it is exactly the two runs the sequential driver performs — one
 /// monitored (P/F/T evidence) and one plain replay (the NI trace).
 fn run_engine_task(task: EngineTask, mode: ProofMode) -> TaskOutput {
+    let worker = tp_sched::current_worker();
     match task {
         // The certification replay never needs a trace: its digest
         // comes straight from the replay system's sink.
         EngineTask::CertReplay(t) => {
-            TaskOutput::Cert(lo_digest_len(&t.mcfg, &t.kcfg, t.lo, t.budget, t.max_steps).1)
+            let span = tp_telemetry::span_start();
+            let digest = lo_digest_len(&t.mcfg, &t.kcfg, t.lo, t.budget, t.max_steps).1;
+            if let Some(start) = span {
+                tp_telemetry::span(SpanKind::Replay, t.cell, worker, start);
+            }
+            TaskOutput::Cert(digest)
         }
         EngineTask::Run(t) => {
+            let span = tp_telemetry::span_start();
             let run = t.monitored(mode.digest_first());
+            if let Some(start) = span {
+                tp_telemetry::span(SpanKind::Prove, t.cell, worker, start);
+            }
             let (trace, replay_digest) = match mode {
                 ProofMode::Certified => (None, None),
                 ProofMode::CertifiedRecording => (run.lo_trace, None),
                 ProofMode::ReplayCheck => {
+                    let span = tp_telemetry::span_start();
                     let replay = lo_trace(&t.mcfg, &t.kcfg, t.lo, t.budget, t.max_steps);
+                    if let Some(start) = span {
+                        tp_telemetry::span(SpanKind::Replay, t.cell, worker, start);
+                    }
                     let digest = crate::noninterference::obs_digest(&replay);
                     (Some(replay), Some(digest))
                 }
@@ -436,6 +479,22 @@ fn merge_proof_stream(
     )
 }
 
+/// The telemetry counter a cache validation-gauntlet rejection reports
+/// under — one distinct counter per [`RejectReason`], so a sweep's
+/// metrics say *why* entries were thrown out, not just how many.
+fn reject_counter(r: crate::cache::RejectReason) -> Counter {
+    use crate::cache::RejectReason as R;
+    match r {
+        R::SaltMismatch => Counter::CacheRejectSalt,
+        R::KeyMismatch => Counter::CacheRejectKey,
+        R::CellMismatch => Counter::CacheRejectCell,
+        R::ChecksumMismatch => Counter::CacheRejectChecksum,
+        R::FingerprintShape => Counter::CacheRejectFpShape,
+        R::VerdictMismatch => Counter::CacheRejectVerdict,
+        R::CertMismatch => Counter::CacheRejectCert,
+    }
+}
+
 /// Guard the preconditions shared by every proof driver.
 fn check_proof_inputs(scenario: &NiScenario, models: &[TimeModel]) {
     assert!(!models.is_empty(), "need at least one time model");
@@ -475,8 +534,14 @@ pub fn prove_parallel_mode(
 ) -> ProofReport {
     check_proof_inputs(scenario, models);
     let aisa = check_conformance(&scenario.mcfg);
-    let batch = proof_tasks(scenario, models, mode);
-    let outputs = pool.map(batch.tasks, move |_, t| run_engine_task(t, mode));
+    let batch = proof_tasks(scenario, models, mode, 0);
+    let queued = tp_telemetry::span_start();
+    let outputs = pool.map(batch.tasks, move |_, t| {
+        if let Some(q) = queued {
+            tp_telemetry::span(SpanKind::QueueWait, t.cell(), tp_sched::current_worker(), q);
+        }
+        run_engine_task(t, mode)
+    });
     merge_proof_stream(
         aisa,
         models,
@@ -508,7 +573,7 @@ pub fn prove_parallel_scoped_mode(
 ) -> ProofReport {
     check_proof_inputs(scenario, models);
     let aisa = check_conformance(&scenario.mcfg);
-    let batch = proof_tasks(scenario, models, mode);
+    let batch = proof_tasks(scenario, models, mode, 0);
     // Tasks clone at pointer cost: their configs are Arc-shared.
     let outputs = parallel_map(&batch.tasks, threads, |_, t| {
         run_engine_task(t.clone(), mode)
@@ -615,10 +680,13 @@ fn scan_exhaustive_block(
     // One word buffer for the whole block: the scan only materialises an
     // owned copy on the rare leak-candidate path.
     let mut word = Vec::new();
+    let mut found = None;
+    let mut scanned = 0u64;
     for index in start..=end {
         if index > best.load(Ordering::Relaxed) {
-            return None;
+            break;
         }
+        scanned += 1;
         assert!(
             word_for_index_into(alphabet, max_len, index, &mut word),
             "index is within the enumerated space"
@@ -640,10 +708,14 @@ fn scan_exhaustive_block(
         };
         if let Some(c) = candidate {
             best.fetch_min(index, Ordering::Relaxed);
-            return Some(c);
+            found = Some(c);
+            break;
         }
     }
-    None
+    // Per-block, not per-word: telemetry stays off the enumeration's
+    // inner loop.
+    tp_telemetry::count_n(Counter::ExhPrograms, scanned);
+    found
 }
 
 /// Pick the sequential verdict out of the shards' findings: the
@@ -1033,7 +1105,7 @@ impl ScenarioMatrix {
             let cell = &all[ci];
             let scenario = apply_cell(make_scenario(cell), cell);
             check_proof_inputs(&scenario, &self.models);
-            let batch = proof_tasks(&scenario, &self.models, mode);
+            let batch = proof_tasks(&scenario, &self.models, mode, ci);
             debug_assert_eq!(
                 batch.tasks.len(),
                 proof_task_count(self.models.len(), scenario.secrets.len(), mode)
@@ -1047,11 +1119,21 @@ impl ScenarioMatrix {
             tasks.extend(batch.tasks);
         }
 
-        let mut stream = pool.map_streamed(tasks, move |_, t| run_engine_task(t, mode));
+        let queued = tp_telemetry::span_start();
+        let mut stream = pool.map_streamed(tasks, move |_, t| {
+            if let Some(q) = queued {
+                tp_telemetry::span(SpanKind::QueueWait, t.cell(), tp_sched::current_worker(), q);
+            }
+            run_engine_task(t, mode)
+        });
         let mut out = Vec::with_capacity(indices.len());
         for (ci, aisa, secrets, runs) in meta {
+            let span = tp_telemetry::span_start();
             let (report, _) =
                 merge_proof_stream(aisa, &self.models, &secrets, mode, &runs, &mut stream);
+            if let Some(start) = span {
+                tp_telemetry::span(SpanKind::Verify, ci, tp_sched::current_worker(), start);
+            }
             on_cell(ci, &all[ci], &report);
             out.push((ci, all[ci].clone(), report));
         }
@@ -1110,15 +1192,25 @@ impl ScenarioMatrix {
                 Some(k) => match cache.lookup(k, cell, &self.models, &scenario.secrets) {
                     Ok(entry) => {
                         stats.hits += 1;
+                        tp_telemetry::count(Counter::CacheHits);
                         plans.push((ci, Plan::Hit(Box::new(entry.report.clone()))));
                         continue;
                     }
-                    Err(CacheMiss::Absent) => stats.misses += 1,
-                    Err(CacheMiss::Rejected(_)) => stats.rejected += 1,
+                    Err(CacheMiss::Absent) => {
+                        stats.misses += 1;
+                        tp_telemetry::count(Counter::CacheMisses);
+                    }
+                    Err(CacheMiss::Rejected(r)) => {
+                        stats.rejected += 1;
+                        tp_telemetry::count(reject_counter(r));
+                    }
                 },
-                None => stats.uncacheable += 1,
+                None => {
+                    stats.uncacheable += 1;
+                    tp_telemetry::count(Counter::CacheUncacheable);
+                }
             }
-            let batch = proof_tasks(&scenario, &self.models, mode);
+            let batch = proof_tasks(&scenario, &self.models, mode, ci);
             plans.push((
                 ci,
                 Plan::Miss {
@@ -1131,7 +1223,13 @@ impl ScenarioMatrix {
             tasks.extend(batch.tasks);
         }
 
-        let mut stream = pool.map_streamed(tasks, move |_, t| run_engine_task(t, mode));
+        let queued = tp_telemetry::span_start();
+        let mut stream = pool.map_streamed(tasks, move |_, t| {
+            if let Some(q) = queued {
+                tp_telemetry::span(SpanKind::QueueWait, t.cell(), tp_sched::current_worker(), q);
+            }
+            run_engine_task(t, mode)
+        });
         let mut out = Vec::with_capacity(indices.len());
         for (ci, plan) in plans {
             let report = match plan {
@@ -1142,8 +1240,12 @@ impl ScenarioMatrix {
                     secrets,
                     runs,
                 } => {
+                    let span = tp_telemetry::span_start();
                     let (report, fps) =
                         merge_proof_stream(aisa, &self.models, &secrets, mode, &runs, &mut stream);
+                    if let Some(start) = span {
+                        tp_telemetry::span(SpanKind::Verify, ci, tp_sched::current_worker(), start);
+                    }
                     if let Some(k) = key {
                         cache.insert(k, all[ci].clone(), report.clone(), fps);
                     }

@@ -290,6 +290,81 @@ fn cold_warm_and_mixed_cache_runs_are_bit_identical() {
     }
 }
 
+/// The telemetry pin: a sweep observed by the heaviest sink
+/// (JSON-lines tracing) produces reports, wire records and transparency
+/// certificates byte-identical to the same sweep with telemetry off —
+/// at 1, 2 and 8 workers. Telemetry reads the engine; it must never
+/// reach an observation digest or a verdict. The traced run must also
+/// actually trace: span counters advance and every buffered line is a
+/// span record.
+#[test]
+fn telemetry_sinks_never_change_reports_or_wire_records() {
+    use tp_telemetry::{SpanKind, TelemetrySink};
+
+    let models = default_time_models()[..2].to_vec();
+    let matrix = ScenarioMatrix::new("det", MachineConfig::single_core())
+        .with_ablations(vec![None, Some(Mechanism::Padding)])
+        .with_models(models);
+    let all: Vec<usize> = (0..matrix.cells().len()).collect();
+    let scenario = || |_: &tp_core::MatrixCell| seeded_scenario(2, TimeProtConfig::full());
+    let wire_of = |triples: &[(usize, tp_core::MatrixCell, ProofReport)]| {
+        let mut out = String::new();
+        for (i, cell, report) in triples {
+            tp_core::wire::write_cell(&mut out, *i, cell, report);
+        }
+        out
+    };
+
+    for workers in POOL_SIZES {
+        let pool = WorkerPool::new(workers);
+
+        tp_telemetry::install(TelemetrySink::Null);
+        let silent = matrix.run_subset_streamed(&pool, &all, scenario(), |_, _, _| {});
+
+        tp_telemetry::install(TelemetrySink::json_lines());
+        let traced = matrix.run_subset_streamed(&pool, &all, scenario(), |_, _, _| {});
+        let snap = tp_telemetry::snapshot().expect("tracing sink snapshots");
+        let trace = tp_telemetry::take_trace().expect("tracing sink buffers");
+        tp_telemetry::install(TelemetrySink::Null);
+
+        // The load-bearing half: tracing changed nothing observable.
+        assert_eq!(
+            silent, traced,
+            "telemetry must not change reports (pool×{workers})"
+        );
+        assert_eq!(
+            wire_of(&silent),
+            wire_of(&traced),
+            "telemetry must not change wire records (pool×{workers})"
+        );
+        for ((_, cell, s), (_, _, t)) in silent.iter().zip(traced.iter()) {
+            assert_eq!(
+                s.transparency,
+                t.transparency,
+                "telemetry must not fold into digests/certificates ({})",
+                cell.label()
+            );
+        }
+
+        // The sanity half: the traced run really was observed. (The
+        // sink is process-global and tests run concurrently, so other
+        // tests may add to these numbers — assert floors, not totals.)
+        for kind in [SpanKind::QueueWait, SpanKind::Prove, SpanKind::Verify] {
+            assert!(
+                snap.span(kind).0 > 0,
+                "traced sweep must record {kind:?} spans (pool×{workers})"
+            );
+        }
+        assert!(!trace.is_empty(), "trace buffer must not be empty");
+        for line in trace.lines() {
+            assert!(
+                line.starts_with("{\"t\":\"span\",\"kind\":\""),
+                "every trace line is a span record, got: {line}"
+            );
+        }
+    }
+}
+
 /// The sharded enumeration returns the sequential first witness: the
 /// lowest-index distinguishing program, with identical divergence data
 /// — on the scoped path and on persistent pools of every size.

@@ -40,5 +40,5 @@
 pub mod pool;
 pub mod stream;
 
-pub use pool::{available_threads, configure_global_threads, global, WorkerPool};
+pub use pool::{available_threads, configure_global_threads, current_worker, global, WorkerPool};
 pub use stream::OrderedResults;

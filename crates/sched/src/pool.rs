@@ -58,6 +58,7 @@ impl Shared {
             // elsewhere rather than serialising on it.
             if let Ok(mut q) = q.try_lock() {
                 if let Some(t) = q.pop_back() {
+                    tp_telemetry::count(tp_telemetry::Counter::PoolSteals);
                     return Some(t);
                 }
             }
@@ -116,8 +117,17 @@ impl WorkerPool {
     /// Queue a batch of tasks under one injector lock and wake workers.
     fn submit_batch(&self, tasks: impl Iterator<Item = Task>) {
         let mut q = self.shared.injector.lock().expect("injector poisoned");
+        let before = q.len();
         q.extend(tasks);
+        let after = q.len();
         drop(q);
+        if tp_telemetry::enabled() {
+            tp_telemetry::count_n(
+                tp_telemetry::Counter::PoolSubmitted,
+                (after - before) as u64,
+            );
+            tp_telemetry::queue_depth(after as u64);
+        }
         self.shared.work_ready.notify_all();
     }
 
@@ -174,8 +184,22 @@ impl Drop for WorkerPool {
     }
 }
 
+thread_local! {
+    /// The pool index of the current thread, when it is a pool worker.
+    static WORKER_ID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The pool worker index of the calling thread, or `None` off the pool
+/// (drivers, helping waiters). Telemetry spans use this to attribute
+/// work to workers without the pool depending on the telemetry crate's
+/// callers.
+pub fn current_worker() -> Option<usize> {
+    WORKER_ID.with(|w| w.get())
+}
+
 /// The body of one worker thread.
 fn worker_loop(shared: &Shared, me: usize) {
+    WORKER_ID.with(|w| w.set(Some(me)));
     loop {
         // 1. Own deque, front first (FIFO over refilled batches).
         let own = shared.queues[me]
@@ -223,6 +247,7 @@ fn worker_loop(shared: &Shared, me: usize) {
             // sibling deques are their owners' responsibility; waking
             // for them is a performance nicety handled by the refill
             // notify above, not a liveness requirement.
+            tp_telemetry::count(tp_telemetry::Counter::PoolParks);
             let _unused = shared
                 .work_ready
                 .wait(inj)

@@ -115,6 +115,7 @@ impl<T> OrderedResults<T> {
                     // just go back to waiting.
                     if let Some(shared) = &self.shared {
                         if let Some(task) = shared.try_pop_any(None) {
+                            tp_telemetry::count(tp_telemetry::Counter::PoolHelpingWaits);
                             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
                         }
                     }
