@@ -145,7 +145,7 @@ fn main() {
                     Ok(c) => c,
                     Err(e) => {
                         eprintln!("bench: cannot parse cache {path}: {e}");
-                        std::process::exit(2);
+                        std::process::exit(tp_bench::cli::EXIT_MALFORMED);
                     }
                 },
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => tp_core::ProofCache::new(),

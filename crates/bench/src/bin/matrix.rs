@@ -78,10 +78,11 @@ fn main() {
         }
     };
 
-    // Heartbeat only when a human is plausibly watching: `--progress`
-    // asked for it AND stderr is a terminal (CI logs and redirects
-    // keep the plain per-cell lines only).
-    let heartbeat = args.progress && std::io::stderr().is_terminal();
+    // An explicit `--progress` always heartbeats — a daemonised or CI
+    // run redirecting stderr asked for its log lines and gets them.
+    // Only the *default-on* convenience (no flag) is gated on stderr
+    // being a terminal, so plain redirected runs stay quiet.
+    let heartbeat = args.progress || std::io::stderr().is_terminal();
     let t0 = Instant::now();
     let progress = move |done: usize, total: usize, line: &str| {
         eprintln!("{line}");
@@ -101,7 +102,7 @@ fn main() {
                     Ok(c) => c,
                     Err(e) => {
                         eprintln!("matrix: cannot parse cache {path}: {e}");
-                        std::process::exit(2);
+                        std::process::exit(tp_bench::cli::EXIT_MALFORMED);
                     }
                 },
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => tp_core::ProofCache::new(),

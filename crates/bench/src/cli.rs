@@ -20,7 +20,9 @@
 //!   cache (`tp_core::cache`): load `PATH` if it exists, replay
 //!   validated hits, prove only changed cells, and write the updated
 //!   cache back. Reports stay byte-identical to an uncached run; the
-//!   hit/re-prove statistics go to stderr.
+//!   hit/re-prove statistics go to stderr. A cache file that fails
+//!   wire parsing exits with [`EXIT_MALFORMED`]; entries that parse
+//!   but fail validation are rejected and re-proved (exit 0).
 //!
 //! Telemetry flags (PR 8), all off by default so the proof hot path
 //! keeps its null-sink fast path:
@@ -31,7 +33,9 @@
 //! * `--trace-out FILE` — install a JSON-lines tracing sink and write
 //!   every span plus a machine-readable run manifest to `FILE`.
 //! * `--progress` — heartbeat to stderr (cells completed / total, ETA)
-//!   while a grid runs; auto-disabled when stderr is not a TTY.
+//!   while a grid runs. An explicit flag is always honored — including
+//!   under redirection, so daemonised/CI runs can log heartbeats; only
+//!   the default-on behavior (no flag) requires stderr to be a TTY.
 //!
 //! `bin/matrix` additionally understands the scale-out modes:
 //!
@@ -39,6 +43,19 @@
 //!   (`tp_core::wire`) to stdout instead of a report.
 //! * `--merge FILE...` — parse worker outputs and print the merged
 //!   report, identical to a single-process run over the same cells.
+
+/// Exit code for usage errors (unknown flags, bad `--cells` specs).
+pub const EXIT_USAGE: i32 = 2;
+
+/// Exit code for malformed *input* — a `--cache` file that fails wire
+/// parsing. Distinct from [`EXIT_USAGE`] and, crucially, from the
+/// silent-degradation path: a cache entry that parses but fails the
+/// validation gauntlet is rejected and re-proved (exit 0, counted in
+/// the stderr `cache:` stats), while a file the parser cannot read at
+/// all is untrusted input and aborts loudly. `tp-serve` mirrors the
+/// same split as protocol codes (`code=malformed` vs a normal `DONE`
+/// with nonzero `rejected`).
+pub const EXIT_MALFORMED: i32 = 3;
 
 /// Parsed command line for the sweep binaries.
 #[derive(Debug, Default, PartialEq, Eq)]

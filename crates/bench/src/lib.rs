@@ -87,7 +87,9 @@ pub fn cache_summary(stats: &tp_core::CacheStats, entries: usize) -> String {
 /// whether) to print it.
 pub fn eta_line(done: usize, total: usize, elapsed: std::time::Duration) -> String {
     let secs = elapsed.as_secs_f64();
-    let pct = (done * 100).checked_div(total).unwrap_or(100);
+    // An empty sweep has completed none of its zero cells — 0%, not
+    // the 100% a naive 0/0 fallback reports.
+    let pct = (done * 100).checked_div(total).unwrap_or(0);
     if done == 0 || total == 0 {
         return format!("progress: {done}/{total} cells ({pct}%), elapsed {secs:.1}s");
     }
@@ -969,10 +971,9 @@ mod tests {
             eta_line(0, 21, d),
             "progress: 0/21 cells (0%), elapsed 3.0s"
         );
-        assert_eq!(
-            eta_line(0, 0, d),
-            "progress: 0/0 cells (100%), elapsed 3.0s"
-        );
+        // An empty sweep (a zero-cell job submitted to the service) is
+        // 0% done with no ETA claim — not 100%.
+        assert_eq!(eta_line(0, 0, d), "progress: 0/0 cells (0%), elapsed 3.0s");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! baseline for the determinism and performance harnesses).
 
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -1258,6 +1259,181 @@ impl ScenarioMatrix {
         (out, stats)
     }
 
+    /// The fault-contained sweep driver a **long-lived** service runs:
+    /// [`ScenarioMatrix::run_subset_cached`] semantics (optional cache
+    /// front, streaming in `indices` order, byte-identical reports),
+    /// but a cell whose tasks panic yields `Err(panic message)` in its
+    /// slot instead of unwinding into the caller — the remaining cells
+    /// still complete, stream, and populate the cache.
+    ///
+    /// `cache: None` runs the sweep uncached (every cell is proved
+    /// live, [`CacheStats`] stays zero and no cache telemetry is
+    /// counted); `Some` behaves exactly like
+    /// [`ScenarioMatrix::run_subset_cached`]. Failed cells are never
+    /// inserted into the cache, so a fault stays a miss and a
+    /// resubmission re-proves it.
+    ///
+    /// Containment covers both places a proof can panic: the sharded
+    /// engine tasks (contained by the pool and delivered through
+    /// [`OrderedResults::next_outcome`]; the stream stays aligned
+    /// because every submitted task reports exactly one outcome) and
+    /// the consumer-side merge (digest-divergence lockstep re-runs
+    /// execute here, so the merge is wrapped in its own `catch_unwind`).
+    pub fn run_subset_streamed_cached<F, C>(
+        &self,
+        pool: &WorkerPool,
+        indices: &[usize],
+        mut cache: Option<&mut ProofCache>,
+        make_scenario: F,
+        mut on_cell: C,
+    ) -> (CellOutcomes, CacheStats)
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+        C: FnMut(usize, &MatrixCell, &Result<ProofReport, String>),
+    {
+        enum Plan {
+            Hit(Box<ProofReport>),
+            Miss {
+                key: Option<u64>,
+                aisa: tp_hw::aisa::ConformanceReport,
+                secrets: Vec<u64>,
+                runs: Vec<ProofTask>,
+                tasks: usize,
+            },
+        }
+        let all = self.cells();
+        let mode = self.mode;
+        let mut stats = CacheStats::default();
+        let mut tasks = Vec::new();
+        let mut plans = Vec::with_capacity(indices.len());
+        for &ci in indices {
+            let cell = &all[ci];
+            let scenario = apply_cell(make_scenario(cell), cell);
+            check_proof_inputs(&scenario, &self.models);
+            let key = match cache.as_deref_mut() {
+                None => None,
+                Some(c) => {
+                    let key = crate::cache::cell_key(cell, &self.models, &scenario, mode);
+                    match key {
+                        Some(k) => match c.lookup(k, cell, &self.models, &scenario.secrets) {
+                            Ok(entry) => {
+                                stats.hits += 1;
+                                tp_telemetry::count(Counter::CacheHits);
+                                plans.push((ci, Plan::Hit(Box::new(entry.report.clone()))));
+                                continue;
+                            }
+                            Err(CacheMiss::Absent) => {
+                                stats.misses += 1;
+                                tp_telemetry::count(Counter::CacheMisses);
+                            }
+                            Err(CacheMiss::Rejected(r)) => {
+                                stats.rejected += 1;
+                                tp_telemetry::count(reject_counter(r));
+                            }
+                        },
+                        None => {
+                            stats.uncacheable += 1;
+                            tp_telemetry::count(Counter::CacheUncacheable);
+                        }
+                    }
+                    key
+                }
+            };
+            let batch = proof_tasks(&scenario, &self.models, mode, ci);
+            plans.push((
+                ci,
+                Plan::Miss {
+                    key,
+                    aisa: check_conformance(&cell.mcfg),
+                    secrets: scenario.secrets.clone(),
+                    runs: batch.runs,
+                    tasks: batch.tasks.len(),
+                },
+            ));
+            tasks.extend(batch.tasks);
+        }
+
+        let queued = tp_telemetry::span_start();
+        let mut stream = pool.map_streamed(tasks, move |_, t| {
+            if let Some(q) = queued {
+                tp_telemetry::span(SpanKind::QueueWait, t.cell(), tp_sched::current_worker(), q);
+            }
+            run_engine_task(t, mode)
+        });
+        let mut out = Vec::with_capacity(indices.len());
+        for (ci, plan) in plans {
+            let result = match plan {
+                Plan::Hit(report) => Ok(*report),
+                Plan::Miss {
+                    key,
+                    aisa,
+                    secrets,
+                    runs,
+                    tasks: n,
+                } => {
+                    // Drain this cell's full task quota even after a
+                    // panic, so the next cell's outcomes line up.
+                    let mut outputs = Vec::with_capacity(n);
+                    let mut panic_msg: Option<String> = None;
+                    for _ in 0..n {
+                        match stream
+                            .next_outcome()
+                            .expect("one outcome per submitted engine task")
+                        {
+                            Ok(o) => outputs.push(o),
+                            Err(payload) => {
+                                if panic_msg.is_none() {
+                                    panic_msg =
+                                        Some(tp_sched::panic_message(payload.as_ref()).to_string());
+                                }
+                            }
+                        }
+                    }
+                    match panic_msg {
+                        Some(msg) => Err(msg),
+                        None => {
+                            let span = tp_telemetry::span_start();
+                            let models = &self.models;
+                            let merged = catch_unwind(AssertUnwindSafe(move || {
+                                merge_proof_stream(
+                                    aisa,
+                                    models,
+                                    &secrets,
+                                    mode,
+                                    &runs,
+                                    &mut outputs.into_iter(),
+                                )
+                            }));
+                            if let Some(start) = span {
+                                tp_telemetry::span(
+                                    SpanKind::Verify,
+                                    ci,
+                                    tp_sched::current_worker(),
+                                    start,
+                                );
+                            }
+                            match merged {
+                                Ok((report, fps)) => {
+                                    if let (Some(k), Some(c)) = (key, cache.as_deref_mut()) {
+                                        c.insert(k, all[ci].clone(), report.clone(), fps);
+                                    }
+                                    Ok(report)
+                                }
+                                Err(payload) => {
+                                    tp_telemetry::count(Counter::TasksPanicked);
+                                    Err(tp_sched::panic_message(payload.as_ref()).to_string())
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            on_cell(ci, &all[ci], &result);
+            out.push((ci, all[ci].clone(), result));
+        }
+        (out, stats)
+    }
+
     /// [`ScenarioMatrix::run`] on a scoped spawn-per-call pool,
     /// splitting `threads` between cells (outer) and each cell's
     /// (model × secret) product (inner) — the pre-`tp-sched` execution
@@ -1437,6 +1613,12 @@ fn apply_cell(mut scenario: NiScenario, cell: &MatrixCell) -> NiScenario {
     });
     scenario
 }
+
+/// The per-cell results of a fault-contained sweep
+/// ([`ScenarioMatrix::run_subset_streamed_cached`]): each selected
+/// cell's global index and either its proved report or the panic
+/// message of the task that took it down.
+pub type CellOutcomes = Vec<(usize, MatrixCell, Result<ProofReport, String>)>;
 
 /// The outcome of a [`ScenarioMatrix::run`]: one [`ProofReport`] per
 /// cell, in cell order.

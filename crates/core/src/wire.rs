@@ -491,6 +491,19 @@ pub fn write_cell_cached(
     writeln!(out, "end i={index}").expect("writing to a String cannot fail");
 }
 
+/// Append the record for a cell whose proof **failed** — a panicking
+/// task contained by the scheduler — in place of a record group: one
+/// `err` line carrying the cell's global index and the panic message.
+///
+/// Error records are deliberately *not* accepted by [`parse_cells`]: a
+/// failed cell must never merge into a [`MatrixReport`] as if it had
+/// been proved. Streaming drivers (the `tp-serve` daemon) forward them
+/// to clients as per-cell failure notices and leave re-proving to a
+/// resubmission.
+pub fn write_cell_error(out: &mut String, index: usize, msg: &str) {
+    writeln!(out, "err i={index} msg={}", esc(msg)).expect("writing to a String cannot fail");
+}
+
 /// Everything in a cell's record group except the trailing
 /// `cached`/`end` records. Also the canonical byte string the proof
 /// cache's entry checksum covers (with the index pinned by the caller,

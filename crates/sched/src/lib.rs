@@ -33,6 +33,16 @@
 //! submission queue and worker deques and run them inline. That keeps
 //! the pool deadlock-free even when a task itself submits a nested
 //! batch, and puts the caller's thread to work instead of parking it.
+//!
+//! Failure model: a panic inside a task is contained at the task
+//! boundary. Workers never die, poisoned pool locks are recovered (the
+//! queues they guard are plain deques, valid between mutations), the
+//! payload is routed into the task's [`OrderedResults`] slot —
+//! re-raised by [`WorkerPool::map`] / [`OrderedResults::next_result`],
+//! delivered as a value by [`OrderedResults::next_outcome`] — and the
+//! `tasks_panicked` telemetry counter records it. The pool keeps
+//! accepting submissions afterwards, which is what lets the resident
+//! `tp-serve` daemon sit on top of one process-wide pool indefinitely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,4 +51,4 @@ pub mod pool;
 pub mod stream;
 
 pub use pool::{available_threads, configure_global_threads, current_worker, global, WorkerPool};
-pub use stream::OrderedResults;
+pub use stream::{panic_message, OrderedResults};

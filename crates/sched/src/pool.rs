@@ -15,13 +15,30 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 use crate::stream::OrderedResults;
 
 /// A unit of work queued on the pool.
 pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lock `m`, recovering the guard when a previous holder panicked.
+///
+/// Every structure behind a pool lock is a plain `VecDeque` whose
+/// mutations (`push`, `pop`, `extend` of already-built boxes) cannot be
+/// observed half-done across an unwind point, so a poisoned mutex still
+/// guards a valid queue — the poison flag records *that* a panic
+/// happened, not that the data is broken. Propagating it instead (the
+/// pre-fix `.expect("poisoned")` behaviour) is what let one panicking
+/// task cascade: the next worker to touch the injector died on the
+/// flag, poisoning more locks, until the whole pool was gone. A
+/// resident service cannot run on a pool with that failure model; the
+/// panic itself is still surfaced via the task's result slot and the
+/// `tasks_panicked` telemetry counter.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Maximum tasks a worker moves from the injector to its own deque in
 /// one refill: big enough to keep injector-lock traffic negligible,
@@ -47,7 +64,7 @@ impl Shared {
     /// back of each worker deque. Used by helping waiters; `skip` lets a
     /// worker exclude its own deque (it pops that from the front).
     pub(crate) fn try_pop_any(&self, skip: Option<usize>) -> Option<Task> {
-        if let Some(t) = self.injector.lock().expect("injector poisoned").pop_front() {
+        if let Some(t) = lock_recover(&self.injector).pop_front() {
             return Some(t);
         }
         for (i, q) in self.queues.iter().enumerate() {
@@ -116,7 +133,7 @@ impl WorkerPool {
 
     /// Queue a batch of tasks under one injector lock and wake workers.
     fn submit_batch(&self, tasks: impl Iterator<Item = Task>) {
-        let mut q = self.shared.injector.lock().expect("injector poisoned");
+        let mut q = lock_recover(&self.shared.injector);
         let before = q.len();
         q.extend(tasks);
         let after = q.len();
@@ -162,6 +179,9 @@ impl WorkerPool {
             let f = Arc::clone(&f);
             Box::new(move || {
                 let r = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                if r.is_err() {
+                    tp_telemetry::count(tp_telemetry::Counter::TasksPanicked);
+                }
                 // A dropped receiver just means the caller abandoned the
                 // stream; the task's work is already done either way.
                 let _ = tx.send((i, r));
@@ -176,7 +196,7 @@ impl Drop for WorkerPool {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Take the lock so the store cannot race a worker that already
         // checked `shutdown` and is about to wait.
-        drop(self.shared.injector.lock().expect("injector poisoned"));
+        drop(lock_recover(&self.shared.injector));
         self.shared.work_ready.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -202,10 +222,7 @@ fn worker_loop(shared: &Shared, me: usize) {
     WORKER_ID.with(|w| w.set(Some(me)));
     loop {
         // 1. Own deque, front first (FIFO over refilled batches).
-        let own = shared.queues[me]
-            .lock()
-            .expect("worker deque poisoned")
-            .pop_front();
+        let own = lock_recover(&shared.queues[me]).pop_front();
         if let Some(t) = own {
             run_task(t);
             continue;
@@ -213,15 +230,12 @@ fn worker_loop(shared: &Shared, me: usize) {
 
         // 2. Refill from the injector: run one task now, bank the rest.
         {
-            let mut inj = shared.injector.lock().expect("injector poisoned");
+            let mut inj = lock_recover(&shared.injector);
             if let Some(first) = inj.pop_front() {
                 let extra: Vec<Task> = (1..REFILL_BATCH).filter_map(|_| inj.pop_front()).collect();
                 drop(inj);
                 if !extra.is_empty() {
-                    shared.queues[me]
-                        .lock()
-                        .expect("worker deque poisoned")
-                        .extend(extra);
+                    lock_recover(&shared.queues[me]).extend(extra);
                     // The bank is visible to thieves; let sleepers know.
                     shared.work_ready.notify_all();
                 }
@@ -237,7 +251,7 @@ fn worker_loop(shared: &Shared, me: usize) {
         }
 
         // 4. Nothing anywhere: park until a submission (or shutdown).
-        let inj = shared.injector.lock().expect("injector poisoned");
+        let inj = lock_recover(&shared.injector);
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -251,16 +265,19 @@ fn worker_loop(shared: &Shared, me: usize) {
             let _unused = shared
                 .work_ready
                 .wait(inj)
-                .expect("work_ready wait poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
 
 /// Execute one task, containing any panic to the task itself. `map`
-/// tasks re-route the payload through their result channel; a bare
-/// `submit` panic ends with the task.
-fn run_task(t: Task) {
-    let _ = catch_unwind(AssertUnwindSafe(t));
+/// tasks re-route the payload through their result channel (and count
+/// their own panics before doing so); a bare `submit` panic ends with
+/// the task, leaving the `tasks_panicked` counter as its only trace.
+pub(crate) fn run_task(t: Task) {
+    if catch_unwind(AssertUnwindSafe(t)).is_err() {
+        tp_telemetry::count(tp_telemetry::Counter::TasksPanicked);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -382,6 +399,23 @@ mod tests {
         assert!(r.is_err(), "task panic must reach the caller");
         // The pool must still schedule fresh work afterwards.
         assert_eq!(pool.map(vec![1u32, 2], |_, x| x * 2), vec![2, 4]);
+    }
+
+    /// Deliberately poison the injector mutex (a thread panics while
+    /// holding it) and verify the pool shrugs it off: `lock_recover`
+    /// must hand every subsequent submit/map the still-valid queue.
+    #[test]
+    fn pool_survives_a_poisoned_injector_lock() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let shared = Arc::clone(&pool.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.injector.lock().unwrap();
+            panic!("poison the injector");
+        })
+        .join();
+        assert!(pool.shared.injector.is_poisoned(), "setup must poison");
+        pool.submit(|| {});
+        assert_eq!(pool.map(vec![5u32, 6], |_, x| x + 1), vec![6, 7]);
     }
 
     #[test]

@@ -89,15 +89,32 @@ impl<T> OrderedResults<T> {
     }
 
     /// Block until the next in-submission-order result is available and
-    /// return it; `None` once the whole batch has been yielded.
+    /// return it; `None` once the whole batch has been yielded. If the
+    /// task at the head of the sequence panicked, the payload is
+    /// re-raised here — use [`OrderedResults::next_outcome`] to receive
+    /// it as a value instead.
     pub fn next_result(&mut self) -> Option<T> {
+        self.next_outcome()
+            .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+    }
+
+    /// Like [`OrderedResults::next_result`], but a panicked task yields
+    /// `Err(payload)` in its slot instead of re-raising on the consumer.
+    ///
+    /// This is the failure model a long-lived driver (the `tp-serve`
+    /// daemon) needs: one poisoned cell becomes one error record while
+    /// every other slot still delivers, and the consumer thread — which
+    /// owns the connection, the job bookkeeping, the cache — never
+    /// unwinds. [`panic_message`] extracts a printable message from the
+    /// payload.
+    pub fn next_outcome(&mut self) -> Option<std::thread::Result<T>> {
         if self.next >= self.total {
             return None;
         }
         loop {
             if let Some(r) = self.pending.remove(&self.next) {
                 self.next += 1;
-                return Some(r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)));
+                return Some(r);
             }
             match self.rx.recv_timeout(HELP_POLL) {
                 Ok((i, r)) => {
@@ -116,7 +133,7 @@ impl<T> OrderedResults<T> {
                     if let Some(shared) = &self.shared {
                         if let Some(task) = shared.try_pop_any(None) {
                             tp_telemetry::count(tp_telemetry::Counter::PoolHelpingWaits);
-                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                            crate::pool::run_task(task);
                         }
                     }
                 }
@@ -132,6 +149,18 @@ impl<T> OrderedResults<T> {
             }
         }
     }
+}
+
+/// A printable rendering of a panic payload: the `&str` or `String`
+/// message virtually every panic carries, or a fixed fallback for
+/// exotic `panic_any` payloads. This is what turns a contained task
+/// panic into a loggable per-task error record.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 impl<T> Iterator for OrderedResults<T> {

@@ -1,0 +1,119 @@
+//! The pool's failure-model contract, from the outside: a panicking
+//! task must (a) leave every sibling worker alive and productive,
+//! (b) surface its payload through the task's [`OrderedResults`] slot,
+//! and (c) leave the pool accepting and completing new submissions —
+//! at 1, 2 and 8 workers. Before the poison-recovery fix one panic
+//! could poison the injector mutex and cascade into killing every
+//! worker; these tests are the regression wall that keeps the
+//! `tp-serve` daemon's substrate panic-proof.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tp_sched::{panic_message, WorkerPool};
+
+/// The worker counts every check runs at (the `TP_THREADS=1/2/8`
+/// spread CI exercises; explicit pools make it per-test).
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn a_panicking_task_does_not_kill_sibling_workers() {
+    for workers in POOL_SIZES {
+        let pool = WorkerPool::new(workers);
+        // Interleave detonating fire-and-forget tasks with real work:
+        // every real task must still complete, on every pool size.
+        let hits = Arc::new(AtomicU64::new(0));
+        for i in 0..64 {
+            if i % 4 == 0 {
+                pool.submit(move || panic!("background detonation {i}"));
+            } else {
+                let hits = Arc::clone(&hits);
+                pool.submit(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        // A map batch flushes behind the submits; its own results prove
+        // the workers survived the detonations ahead of them.
+        let out = pool.map((0..32u64).collect(), |_, x| x * 2);
+        assert_eq!(
+            out,
+            (0..32u64).map(|x| x * 2).collect::<Vec<_>>(),
+            "pool×{workers}"
+        );
+        for _ in 0..2000 {
+            if hits.load(Ordering::SeqCst) == 48 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            48,
+            "all healthy fire-and-forget tasks ran (pool×{workers})"
+        );
+    }
+}
+
+#[test]
+fn panic_payload_surfaces_through_the_ordered_results_slot() {
+    for workers in POOL_SIZES {
+        let pool = WorkerPool::new(workers);
+        let mut stream = pool.map_streamed((0..10u32).collect(), |_, x| {
+            if x == 4 {
+                panic!("task {x} detonated");
+            }
+            x + 100
+        });
+        let mut slots = Vec::new();
+        while let Some(outcome) = stream.next_outcome() {
+            slots.push(outcome.map_err(|p| panic_message(p.as_ref()).to_string()));
+        }
+        assert_eq!(slots.len(), 10, "every slot delivers (pool×{workers})");
+        for (i, slot) in slots.iter().enumerate() {
+            if i == 4 {
+                assert_eq!(
+                    slot.as_ref().unwrap_err(),
+                    "task 4 detonated",
+                    "the payload lands in the panicking task's slot (pool×{workers})"
+                );
+            } else {
+                assert_eq!(slot.as_ref().unwrap(), &(i as u32 + 100), "pool×{workers}");
+            }
+        }
+    }
+}
+
+#[test]
+fn the_pool_accepts_new_submissions_after_panics() {
+    for workers in POOL_SIZES {
+        let pool = WorkerPool::new(workers);
+        // Several rounds of failure, each followed by fresh work: the
+        // long-lived daemon's steady state.
+        for round in 0..5u64 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.map(vec![0u64, 1, 2], move |_, x| {
+                    if x == 1 {
+                        panic!("round {round} detonation");
+                    }
+                    x
+                })
+            }));
+            assert!(r.is_err(), "map re-raises on the caller (pool×{workers})");
+            let out = pool.map((0..16u64).collect(), move |_, x| x + round);
+            assert_eq!(out.len(), 16, "pool×{workers}");
+            assert_eq!(out[0], round, "pool×{workers}");
+        }
+        assert_eq!(pool.threads(), workers, "no worker died");
+    }
+}
+
+#[test]
+fn panic_message_extracts_str_and_string_payloads() {
+    let p = std::panic::catch_unwind(|| panic!("plain literal")).unwrap_err();
+    assert_eq!(panic_message(p.as_ref()), "plain literal");
+    let p = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+    assert_eq!(panic_message(p.as_ref()), "formatted 7");
+    let p = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+    assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+}

@@ -1,0 +1,84 @@
+//! The `tp-serve` daemon binary.
+//!
+//! ```sh
+//! tp-serve [--addr HOST:PORT] [--threads N] [--cache PATH]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7477`; port `0` picks an ephemeral port),
+//! prints `tp-serve: listening on ADDR` to stdout, then serves until a
+//! client sends `SHUTDOWN`. `--cache PATH` loads a proof cache at
+//! startup and persists it after every cached job; the exit codes for
+//! a bad cache file match the sweep binaries (`EXIT_MALFORMED` for a
+//! file that fails wire parsing, 2 for an unreadable one).
+
+use std::path::PathBuf;
+
+use tp_serve::Server;
+
+fn usage() -> ! {
+    eprintln!("usage: tp-serve [--addr HOST:PORT] [--threads N] [--cache PATH]");
+    std::process::exit(tp_bench::cli::EXIT_USAGE);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7477".to_string();
+    let mut threads: Option<usize> = None;
+    let mut cache_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = value(),
+            "--threads" => match value().parse() {
+                Ok(n) if n > 0 => threads = Some(n),
+                _ => usage(),
+            },
+            "--cache" => cache_path = Some(PathBuf::from(value())),
+            _ => usage(),
+        }
+    }
+    if let Some(n) = threads {
+        tp_sched::configure_global_threads(n);
+    }
+    // Counters on by default: a daemon without METRICS is blind.
+    tp_telemetry::install(tp_telemetry::TelemetrySink::counters());
+
+    // Same trichotomy as the sweep binaries: missing file = cold start,
+    // unparseable = malformed input (own exit code), unreadable = I/O.
+    let cache = match &cache_path {
+        None => tp_core::ProofCache::new(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match tp_core::ProofCache::load(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("tp-serve: cannot parse cache {}: {e}", path.display());
+                    std::process::exit(tp_bench::cli::EXIT_MALFORMED);
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => tp_core::ProofCache::new(),
+            Err(e) => {
+                eprintln!("tp-serve: cannot read cache {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let server = match Server::bind(&addr, cache, cache_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tp-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => println!("tp-serve: listening on {bound}"),
+        Err(e) => {
+            eprintln!("tp-serve: cannot resolve bound address: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = server.serve() {
+        eprintln!("tp-serve: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,432 @@
+//! The daemon: a TCP accept loop over shared service state.
+//!
+//! One OS thread per connection; every connection speaks the
+//! [`crate::protocol`] grammar. Sweeps run on the process-wide
+//! persistent worker pool ([`tp_sched::global`]), which survives
+//! panicking proof tasks by contract (see `tp-sched`'s failure model) —
+//! that contract is what lets a long-lived service exist at all: a
+//! detonating cell becomes an `err` record in one job's stream, never a
+//! dead worker.
+//!
+//! # Concurrency model
+//!
+//! The proof cache is one [`Mutex`]: a cached job holds it for the
+//! duration of its sweep, so concurrent cached jobs serialise (the pool
+//! underneath is already saturated by one sweep; interleaving two would
+//! only shuffle latency around). `nocache` jobs skip the lock and run
+//! concurrently. `STATUS`, `CANCEL` and `METRICS` never wait on a
+//! sweep — they touch only the job registry and telemetry.
+//!
+//! # Cancellation
+//!
+//! `CANCEL job=N` stops the job's *stream*: already-queued proof tasks
+//! still complete on the pool (there is no preemption mid-proof) and —
+//! for a cached job — still populate the cache, so a cancelled sweep's
+//! work is not wasted. The submitting connection gets `CANCELLED` as
+//! its terminal line instead of `DONE`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use tp_core::engine::MatrixCell;
+use tp_core::noninterference::NiScenario;
+use tp_core::{wire, ProofCache, ProofReport};
+use tp_kernel::program::{Instr, Program, StepFeedback};
+
+use crate::protocol::{parse_request, Request, SubmitSpec};
+
+/// How often the accept loop polls the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Finished jobs kept in the registry for `STATUS` history.
+const JOB_HISTORY: usize = 64;
+
+/// Recover a poisoned lock: the guarded values (cache, job registry)
+/// are structurally valid between mutations, so a handler thread that
+/// panicked mid-critical-section leaves consistent state behind — the
+/// same stance the scheduler pool takes on its injector.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The fault-injection payload: a program that detonates on its first
+/// step. Exercises the containment path end to end — the panic unwinds
+/// inside a pool worker, surfaces as the cell's `err` record, and the
+/// daemon keeps serving.
+#[derive(Debug, Clone)]
+struct PanickingProgram;
+
+impl Program for PanickingProgram {
+    fn next(&mut self, _feedback: &StepFeedback) -> Instr {
+        panic!("injected fault: program detonated")
+    }
+}
+
+/// Live progress of one submitted sweep, shared between the running
+/// job and `STATUS`/`CANCEL` handlers on other connections.
+struct JobState {
+    cancelled: AtomicBool,
+    finished: AtomicBool,
+    done: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+/// Registry entry for one job.
+struct JobEntry {
+    id: u64,
+    cells: usize,
+    state: Arc<JobState>,
+}
+
+/// State shared by every connection handler.
+struct Shared {
+    cache: Mutex<ProofCache>,
+    cache_path: Option<PathBuf>,
+    jobs: Mutex<Vec<JobEntry>>,
+    next_job: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Register a new job and hand back its id and live state.
+    fn register_job(&self, cells: usize) -> (u64, Arc<JobState>) {
+        let id = self.next_job.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::new(JobState {
+            cancelled: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            done: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+        });
+        let mut jobs = lock(&self.jobs);
+        // Bound the registry: drop the oldest *finished* entries once
+        // past the history window; running jobs are never evicted.
+        while jobs.len() >= JOB_HISTORY {
+            match jobs
+                .iter()
+                .position(|j| j.state.finished.load(Ordering::SeqCst))
+            {
+                Some(i) => {
+                    jobs.remove(i);
+                }
+                None => break,
+            }
+        }
+        jobs.push(JobEntry {
+            id,
+            cells,
+            state: Arc::clone(&state),
+        });
+        (id, state)
+    }
+}
+
+/// The resident proof service: bind once, [`Server::serve`] until a
+/// client sends `SHUTDOWN`.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) fronting
+    /// `cache`. When `cache_path` is set, the cache is persisted there
+    /// after every cached job, so warm state survives daemon restarts.
+    pub fn bind(addr: &str, cache: ProofCache, cache_path: Option<PathBuf>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cache: Mutex::new(cache),
+                cache_path,
+                jobs: Mutex::new(Vec::new()),
+                next_job: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The address actually bound (resolves an ephemeral port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and serve connections until `SHUTDOWN`. Each connection
+    /// gets its own thread; a handler that dies takes down only its
+    /// connection. Returns once the shutdown flag is observed —
+    /// connections still streaming at that point are detached, not
+    /// joined (the process exiting is what actually ends them).
+    pub fn serve(&self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Handlers block on reads; only the accept loop polls.
+                    stream.set_nonblocking(false)?;
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || handle_conn(stream, &shared));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Serve one connection: one request per line until EOF, shutdown, or
+/// an I/O failure (a vanished client just ends its own handler).
+fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut out = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        match dispatch(&line, shared, &mut out) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+    }
+}
+
+/// Terminate a response block.
+fn end_block(out: &mut TcpStream) -> io::Result<()> {
+    writeln!(out, ".")?;
+    out.flush()
+}
+
+/// Emit an `ERR` block.
+fn err_block(out: &mut TcpStream, code: &str, msg: &str) -> io::Result<()> {
+    writeln!(out, "ERR code={code} msg={msg}")?;
+    end_block(out)
+}
+
+/// Handle one request line. `Ok(false)` ends the connection (after
+/// `SHUTDOWN`); `Err` means the client is gone.
+fn dispatch(line: &str, shared: &Arc<Shared>, out: &mut TcpStream) -> io::Result<bool> {
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            err_block(out, "malformed", &msg)?;
+            return Ok(true);
+        }
+    };
+    match req {
+        Request::Ping => {
+            writeln!(out, "OK pong")?;
+            end_block(out)?;
+        }
+        Request::Submit(spec) => run_submit(shared, spec, out)?,
+        Request::Status => {
+            let jobs = lock(&shared.jobs);
+            writeln!(out, "OK jobs={}", jobs.len())?;
+            for j in jobs.iter() {
+                let state = if j.state.cancelled.load(Ordering::SeqCst) {
+                    "cancelled"
+                } else if j.state.finished.load(Ordering::SeqCst) {
+                    "done"
+                } else {
+                    "running"
+                };
+                writeln!(
+                    out,
+                    "JOB id={} state={} cells={} done={} failed={}",
+                    j.id,
+                    state,
+                    j.cells,
+                    j.state.done.load(Ordering::SeqCst),
+                    j.state.failed.load(Ordering::SeqCst),
+                )?;
+            }
+            drop(jobs);
+            end_block(out)?;
+        }
+        Request::Cancel { job } => {
+            let jobs = lock(&shared.jobs);
+            match jobs.iter().find(|j| j.id == job) {
+                Some(j) => {
+                    j.state.cancelled.store(true, Ordering::SeqCst);
+                    drop(jobs);
+                    writeln!(out, "OK cancelled job={job}")?;
+                    end_block(out)?;
+                }
+                None => {
+                    drop(jobs);
+                    err_block(out, "unknown-job", &format!("no job {job}"))?;
+                }
+            }
+        }
+        Request::Metrics => match tp_telemetry::snapshot() {
+            None => err_block(out, "no-telemetry", "no telemetry sink installed")?,
+            Some(snap) => {
+                writeln!(out, "OK metrics")?;
+                for c in tp_telemetry::Counter::ALL {
+                    writeln!(out, "METRIC {} {}", c.name(), snap.counter(c))?;
+                }
+                writeln!(out, "METRIC pool_peak_queue {}", snap.peak_queue)?;
+                writeln!(out, "METRIC cache_entries {}", lock(&shared.cache).len())?;
+                for k in tp_telemetry::SpanKind::ALL {
+                    let (n, total_us) = snap.span(k);
+                    writeln!(out, "SPAN {} n={n} total_us={total_us}", k.name())?;
+                }
+                end_block(out)?;
+            }
+        },
+        Request::Shutdown => {
+            writeln!(out, "OK shutting-down")?;
+            end_block(out)?;
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Wrap a scenario so the Hi domain's program detonates on its first
+/// step — the panic fires inside a pool worker during stepping, which
+/// is exactly where a real modelling bug would.
+fn detonate_hi(scenario: NiScenario) -> NiScenario {
+    let NiScenario {
+        mcfg,
+        make_kcfg,
+        lo,
+        secrets,
+        budget,
+        max_steps,
+    } = scenario;
+    NiScenario {
+        mcfg,
+        make_kcfg: Box::new(move |secret| {
+            let mut k = make_kcfg(secret);
+            k.domains[1].program = Box::new(PanickingProgram);
+            k
+        }),
+        lo,
+        secrets,
+        budget,
+        max_steps,
+    }
+}
+
+/// Run one `SUBMIT`: stream `REC` lines as cells complete, then the
+/// `DONE`/`CANCELLED` terminal line. The sweep construction mirrors
+/// `matrix --worker` exactly — same [`tp_bench::shaped_matrix`], same
+/// [`tp_bench::canonical_scenario`] — so the stripped `REC` payload is
+/// byte-identical to that binary's stdout for the same subset.
+fn run_submit(shared: &Arc<Shared>, spec: SubmitSpec, out: &mut TcpStream) -> io::Result<()> {
+    let matrix = tp_bench::shaped_matrix(spec.models);
+    let total = matrix.cells().len();
+    let indices: Vec<usize> = match spec.cells {
+        Some(sel) => sel,
+        None => (0..total).collect(),
+    };
+    if let Some(&bad) = indices.iter().find(|&&i| i >= total) {
+        return err_block(
+            out,
+            "malformed",
+            &format!("cell {bad} out of range (matrix has {total} cells)"),
+        );
+    }
+    let fault_cell: Option<MatrixCell> = match spec.fault {
+        None => None,
+        Some(i) if i < total => Some(matrix.cells()[i].clone()),
+        Some(i) => {
+            return err_block(
+                out,
+                "malformed",
+                &format!("fault cell {i} out of range (matrix has {total} cells)"),
+            );
+        }
+    };
+
+    let (job_id, job) = shared.register_job(indices.len());
+    writeln!(out, "OK job={job_id} cells={}", indices.len())?;
+    out.flush()?;
+
+    let make_scenario = move |cell: &MatrixCell| -> NiScenario {
+        let scenario = tp_bench::canonical_scenario(cell.disable);
+        if fault_cell.as_ref() == Some(cell) {
+            detonate_hi(scenario)
+        } else {
+            scenario
+        }
+    };
+
+    // The client vanishing mid-stream must not abort the sweep (queued
+    // proof work still warms the cache); remember the first write error
+    // and go quiet instead.
+    let mut io_err: Option<io::Error> = None;
+    let js = Arc::clone(&job);
+    let emit = |i: usize, cell: &MatrixCell, outcome: &Result<ProofReport, String>| {
+        js.done.fetch_add(1, Ordering::SeqCst);
+        if outcome.is_err() {
+            js.failed.fetch_add(1, Ordering::SeqCst);
+        }
+        if io_err.is_some() || js.cancelled.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut rec = String::new();
+        match outcome {
+            Ok(report) => wire::write_cell(&mut rec, i, cell, report),
+            Err(msg) => wire::write_cell_error(&mut rec, i, msg),
+        }
+        let sent: io::Result<()> = rec.lines().try_for_each(|l| writeln!(out, "REC {l}"));
+        if let Err(e) = sent.and_then(|()| out.flush()) {
+            io_err = Some(e);
+        }
+    };
+
+    let ((outcomes, stats), entries) = if spec.nocache {
+        let r = matrix.run_subset_streamed_cached(
+            tp_sched::global(),
+            &indices,
+            None,
+            make_scenario,
+            emit,
+        );
+        (r, lock(&shared.cache).len())
+    } else {
+        let mut cache = lock(&shared.cache);
+        let r = matrix.run_subset_streamed_cached(
+            tp_sched::global(),
+            &indices,
+            Some(&mut cache),
+            make_scenario,
+            emit,
+        );
+        if let Some(path) = &shared.cache_path {
+            if let Err(e) = std::fs::write(path, cache.save()) {
+                eprintln!("tp-serve: cannot write cache {}: {e}", path.display());
+            }
+        }
+        (r, cache.len())
+    };
+    job.finished.store(true, Ordering::SeqCst);
+
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    if job.cancelled.load(Ordering::SeqCst) {
+        writeln!(out, "CANCELLED job={job_id}")?;
+        return end_block(out);
+    }
+    let proved = outcomes.iter().filter(|(_, _, r)| r.is_ok()).count();
+    writeln!(
+        out,
+        "DONE job={job_id} proved={proved} failed={} hits={} missed={} rejected={} uncacheable={} entries={entries}",
+        outcomes.len() - proved,
+        stats.hits,
+        stats.misses,
+        stats.rejected,
+        stats.uncacheable,
+    )?;
+    end_block(out)
+}

@@ -1,0 +1,339 @@
+//! End-to-end contract of the proof service, driven over a real TCP
+//! socket: streamed records byte-identical to `matrix --worker`, warm
+//! resubmits answered from the cache, a detonating cell contained as
+//! one `err` record while the daemon keeps serving, and the protocol
+//! edges (PING/STATUS/CANCEL/METRICS/malformed/SHUTDOWN).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tp_core::ProofCache;
+use tp_serve::Server;
+
+/// Sequence numbers for per-test scratch paths.
+static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+
+/// A line-oriented test client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("service accepts");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("request sends");
+        self.writer.flush().expect("request flushes");
+    }
+
+    /// Read one `.`-terminated response block (the `.` excluded).
+    fn read_block(&mut self) -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line).expect("response reads");
+            assert_ne!(n, 0, "connection closed mid-block: {lines:?}");
+            let line = line.trim_end_matches('\n').to_string();
+            if line == "." {
+                return lines;
+            }
+            lines.push(line);
+        }
+    }
+
+    /// Send a request and read its whole response block.
+    fn round_trip(&mut self, line: &str) -> Vec<String> {
+        self.send(line);
+        self.read_block()
+    }
+}
+
+/// Bind an in-process service on an ephemeral port and serve it from a
+/// background thread.
+fn start_service(cache: ProofCache) -> (SocketAddr, Client) {
+    let server = Server::bind("127.0.0.1:0", cache, None).expect("service binds");
+    let addr = server.local_addr().expect("bound address resolves");
+    std::thread::spawn(move || server.serve().expect("accept loop stays up"));
+    (addr, Client::connect(addr))
+}
+
+/// The records `matrix --worker` would print for this subset, computed
+/// in-process through the same helpers that binary uses.
+fn reference_records(models: Option<usize>, indices: &[usize]) -> String {
+    let matrix = tp_bench::shaped_matrix(models);
+    let proved = tp_bench::run_matrix_cells(&matrix, indices, |_, _, _: &str| {});
+    let mut out = String::new();
+    for (i, cell, report) in &proved {
+        tp_core::wire::write_cell(&mut out, *i, cell, report);
+    }
+    out
+}
+
+/// Concatenate a response block's `REC ` payloads back into wire text.
+fn stripped_records(block: &[String]) -> String {
+    let mut out = String::new();
+    for line in block {
+        if let Some(rec) = line.strip_prefix("REC ") {
+            out.push_str(rec);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The block's terminal `DONE` line.
+fn done_line(block: &[String]) -> &str {
+    block
+        .iter()
+        .rev()
+        .find(|l| l.starts_with("DONE "))
+        .unwrap_or_else(|| panic!("no DONE line in {block:?}"))
+}
+
+/// Extract `key=` from a status line.
+fn field(line: &str, key: &str) -> u64 {
+    line.split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(key))
+        .unwrap_or_else(|| panic!("no {key} in {line:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {key} in {line:?}"))
+}
+
+#[test]
+fn submits_stream_matrix_worker_bytes_and_warm_resubmits_hit_the_cache() {
+    let (_addr, mut client) = start_service(ProofCache::new());
+    let reference = reference_records(Some(1), &[0, 1, 2, 3, 4, 5, 6]);
+
+    // Cold: everything proves live, and the stream — stripped of its
+    // framing prefix — is byte-identical to the sharding binary.
+    let block = client.round_trip("SUBMIT models=1 cells=0..7");
+    assert!(block[0].starts_with("OK job="), "{block:?}");
+    assert_eq!(stripped_records(&block), reference, "cold stream");
+    let done = done_line(&block);
+    assert_eq!(field(done, "proved="), 7, "{done}");
+    assert_eq!(field(done, "failed="), 0, "{done}");
+    assert_eq!(field(done, "hits="), 0, "{done}");
+    assert_eq!(field(done, "missed="), 7, "{done}");
+
+    // Warm: same request, zero re-proving, still the same bytes.
+    let block = client.round_trip("SUBMIT models=1 cells=0..7");
+    assert_eq!(stripped_records(&block), reference, "warm stream");
+    let done = done_line(&block);
+    assert_eq!(
+        field(done, "hits="),
+        7,
+        "warm run answers from cache: {done}"
+    );
+    assert_eq!(field(done, "missed="), 0, "{done}");
+    assert_eq!(field(done, "entries="), 7, "{done}");
+
+    // A subset resubmit hits too — the cache is per-cell, not per-job.
+    let block = client.round_trip("SUBMIT models=1 cells=2..5");
+    assert_eq!(
+        stripped_records(&block),
+        reference_records(Some(1), &[2, 3, 4]),
+        "subset stream"
+    );
+    assert_eq!(field(done_line(&block), "hits="), 3);
+
+    // `nocache` bypasses the front: same bytes, proved live.
+    let block = client.round_trip("SUBMIT models=1 cells=0..2 nocache");
+    assert_eq!(
+        stripped_records(&block),
+        reference_records(Some(1), &[0, 1]),
+        "nocache stream"
+    );
+    assert_eq!(field(done_line(&block), "hits="), 0);
+    assert_eq!(
+        field(done_line(&block), "missed="),
+        0,
+        "nocache keeps no stats"
+    );
+}
+
+#[test]
+fn a_detonating_cell_is_one_err_record_not_a_dead_daemon() {
+    let (addr, mut client) = start_service(ProofCache::new());
+    let healthy = [0usize, 1, 3, 4];
+    let reference = reference_records(Some(1), &healthy);
+
+    // Fault-inject cell 2: its Hi program panics inside a pool worker.
+    let block = client.round_trip("SUBMIT models=1 cells=0..5 fault=2");
+    let done = done_line(&block).to_string();
+    assert_eq!(field(&done, "proved="), 4, "{done}");
+    assert_eq!(field(&done, "failed="), 1, "{done}");
+
+    // The faulted cell is exactly one wire `err` record carrying the
+    // panic payload; it is NOT parseable as a proved cell, so it can
+    // never be merged into a report by accident.
+    let mut expected_err = String::new();
+    tp_core::wire::write_cell_error(&mut expected_err, 2, "injected fault: program detonated");
+    let records = stripped_records(&block);
+    assert!(
+        records.contains(expected_err.trim_end()),
+        "err record carries the panic message:\n{records}"
+    );
+    assert!(tp_core::wire::parse_cells(&records).is_err());
+
+    // Sibling cells are byte-identical to a healthy run of the same
+    // subset — the detonation affected exactly one slot.
+    let siblings: String = records
+        .lines()
+        .filter(|l| !l.starts_with("err "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(siblings, reference, "siblings unaffected");
+
+    // A panicking program has no content fingerprint: the faulted cell
+    // must not poison the cache. A resubmit without the fault proves
+    // cell 2 live and serves the siblings warm.
+    let block = client.round_trip("SUBMIT models=1 cells=0..5");
+    assert_eq!(
+        stripped_records(&block),
+        reference_records(Some(1), &[0, 1, 2, 3, 4]),
+        "post-fault resubmit"
+    );
+    let done = done_line(&block);
+    assert_eq!(field(done, "proved="), 5, "{done}");
+    assert_eq!(field(done, "hits="), 4, "{done}");
+    assert_eq!(field(done, "missed="), 1, "{done}");
+
+    // And the daemon still accepts fresh connections.
+    let mut second = Client::connect(addr);
+    assert_eq!(second.round_trip("PING"), vec!["OK pong"]);
+}
+
+#[test]
+fn protocol_edges_ping_status_cancel_metrics_and_malformed_lines() {
+    // METRICS needs a live sink; install the counting one for this
+    // process (install is process-wide and idempotent to re-run).
+    tp_telemetry::install(tp_telemetry::TelemetrySink::counters());
+    let (_addr, mut client) = start_service(ProofCache::new());
+
+    assert_eq!(client.round_trip("PING"), vec!["OK pong"]);
+
+    // Malformed requests are rejected without dropping the connection —
+    // the protocol twin of the binaries' EXIT_MALFORMED.
+    for bad in [
+        "FROB",
+        "SUBMIT cells=nonsense",
+        "SUBMIT models=0",
+        "SUBMIT fuel=9",
+        "CANCEL job=x",
+    ] {
+        let block = client.round_trip(bad);
+        assert_eq!(block.len(), 1, "{block:?}");
+        assert!(
+            block[0].starts_with("ERR code=malformed "),
+            "{bad}: {block:?}"
+        );
+    }
+    // Well-formed but out of range: same code, still alive after.
+    let block = client.round_trip("SUBMIT models=1 cells=40..41");
+    assert!(block[0].starts_with("ERR code=malformed "), "{block:?}");
+    let block = client.round_trip("SUBMIT models=1 cells=0..2 fault=40");
+    assert!(block[0].starts_with("ERR code=malformed "), "{block:?}");
+
+    // Cancelling a job that never existed is its own error.
+    let block = client.round_trip("CANCEL job=999");
+    assert!(block[0].starts_with("ERR code=unknown-job "), "{block:?}");
+
+    // A tiny sweep, then STATUS shows it finished and CANCEL of a
+    // finished job still acknowledges (cancellation is a latch, not an
+    // interrupt — the stream is already over).
+    let block = client.round_trip("SUBMIT models=1 cells=0..2");
+    let job = field(&block[0], "job=");
+    let status = client.round_trip("STATUS");
+    assert!(status[0].starts_with("OK jobs="), "{status:?}");
+    let line = status
+        .iter()
+        .find(|l| l.starts_with(&format!("JOB id={job} ")))
+        .unwrap_or_else(|| panic!("job {job} listed: {status:?}"));
+    assert!(line.contains("state=done"), "{line}");
+    assert_eq!(field(line, "cells="), 2, "{line}");
+    assert_eq!(field(line, "done="), 2, "{line}");
+    assert_eq!(field(line, "failed="), 0, "{line}");
+    let block = client.round_trip(&format!("CANCEL job={job}"));
+    assert_eq!(block, vec![format!("OK cancelled job={job}")]);
+
+    // METRICS: every counter and span by name, plus the cache gauge.
+    let block = client.round_trip("METRICS");
+    assert_eq!(block[0], "OK metrics");
+    for c in tp_telemetry::Counter::ALL {
+        assert!(
+            block
+                .iter()
+                .any(|l| l.starts_with(&format!("METRIC {} ", c.name()))),
+            "counter {} reported: {block:?}",
+            c.name()
+        );
+    }
+    for k in tp_telemetry::SpanKind::ALL {
+        assert!(
+            block
+                .iter()
+                .any(|l| l.starts_with(&format!("SPAN {} ", k.name()))),
+            "span {} reported: {block:?}",
+            k.name()
+        );
+    }
+    assert!(
+        block
+            .iter()
+            .any(|l| l.starts_with("METRIC pool_peak_queue ")),
+        "{block:?}"
+    );
+    assert!(
+        block.iter().any(|l| l.starts_with("METRIC cache_entries ")),
+        "{block:?}"
+    );
+}
+
+#[test]
+fn the_daemon_binary_boots_persists_its_cache_and_shuts_down() {
+    let cache_path = std::env::temp_dir().join(format!(
+        "tp_serve_e2e_{}_{}.cache",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::SeqCst)
+    ));
+    let mut daemon = std::process::Command::new(env!("CARGO_BIN_EXE_tp-serve"))
+        .args(["--addr", "127.0.0.1:0", "--threads", "2", "--cache"])
+        .arg(&cache_path)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+
+    // The first stdout line announces the ephemeral port.
+    let mut stdout = BufReader::new(daemon.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner line");
+    let addr: SocketAddr = banner
+        .trim()
+        .strip_prefix("tp-serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .parse()
+        .expect("banner carries the bound address");
+
+    // Prove two cells over the socket, then check the cache landed on
+    // disk (the warm state a restarted daemon would reload).
+    let mut client = Client::connect(addr);
+    let block = client.round_trip("SUBMIT models=1 cells=0..2");
+    assert_eq!(field(done_line(&block), "proved="), 2);
+    let text = std::fs::read_to_string(&cache_path).expect("cache persisted");
+    assert_eq!(ProofCache::load(&text).expect("cache parses").len(), 2);
+
+    assert_eq!(client.round_trip("SHUTDOWN"), vec!["OK shutting-down"]);
+    let status = daemon.wait().expect("daemon exits");
+    std::fs::remove_file(&cache_path).ok();
+    assert!(status.success(), "clean shutdown exit: {status:?}");
+}

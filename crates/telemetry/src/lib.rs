@@ -54,6 +54,11 @@ pub enum Counter {
     /// Pending pool tasks executed inline by a blocked
     /// `OrderedResults` consumer (the helping-waiter path).
     PoolHelpingWaits,
+    /// Tasks whose body panicked. The scheduler contains every such
+    /// panic at the task boundary (the worker survives, map/stream
+    /// callers get the payload through their result slot), so this
+    /// counter is the only place a fire-and-forget failure is visible.
+    TasksPanicked,
     /// Proof-cache lookups replayed from a validated entry.
     CacheHits,
     /// Proof-cache lookups with no entry under the key.
@@ -84,7 +89,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of distinct counters.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// Every counter, in array-index order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -92,6 +97,7 @@ impl Counter {
         Counter::PoolSteals,
         Counter::PoolParks,
         Counter::PoolHelpingWaits,
+        Counter::TasksPanicked,
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheUncacheable,
@@ -112,6 +118,7 @@ impl Counter {
             Counter::PoolSteals => "pool_steals",
             Counter::PoolParks => "pool_parks",
             Counter::PoolHelpingWaits => "pool_helping_waits",
+            Counter::TasksPanicked => "tasks_panicked",
             Counter::CacheHits => "cache_hits",
             Counter::CacheMisses => "cache_misses",
             Counter::CacheUncacheable => "cache_uncacheable",
@@ -405,11 +412,12 @@ impl Snapshot {
         let _ = writeln!(out, "telemetry: wall {:.3} s", self.wall.as_secs_f64());
         let _ = writeln!(
             out,
-            "  pool: {} submitted, {} stolen, {} parked, {} helping-waits, peak queue {}",
+            "  pool: {} submitted, {} stolen, {} parked, {} helping-waits, {} panicked, peak queue {}",
             c(Counter::PoolSubmitted),
             c(Counter::PoolSteals),
             c(Counter::PoolParks),
             c(Counter::PoolHelpingWaits),
+            c(Counter::TasksPanicked),
             self.peak_queue
         );
         let _ = writeln!(
