@@ -164,7 +164,9 @@ fn main() {
                 |_, _, _| {},
             );
             eprintln!("{}", tp_bench::cache_summary(&stats, cache.len()));
-            if let Err(e) = std::fs::write(path, cache.save()) {
+            if let Err(e) =
+                tp_core::persist::write_atomic(std::path::Path::new(path), cache.save().as_bytes())
+            {
                 eprintln!("bench: cannot write cache {path}: {e}");
                 std::process::exit(2);
             }
@@ -324,7 +326,11 @@ fn main() {
 
     let mut history = history;
     history.push(fresh);
-    if let Err(e) = std::fs::write(&args.out, history.render()) {
+    // Atomic replace: the trajectory file is append-forever history; a
+    // crash mid-rewrite must not tear the runs already recorded.
+    if let Err(e) =
+        tp_core::persist::write_atomic(std::path::Path::new(&args.out), history.render().as_bytes())
+    {
         eprintln!("bench: cannot write {}: {e}", args.out);
         std::process::exit(1);
     }

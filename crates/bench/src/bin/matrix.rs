@@ -20,6 +20,12 @@
 //! # only cells whose inputs changed — stdout stays byte-identical
 //! matrix --cache proofs.cache
 //!
+//! # crash-safe: checkpoint every proved cell; if the process is
+//! # killed, resume re-proves only what the journal lost — stdout is
+//! # byte-identical to an uninterrupted run
+//! matrix --journal run.journal
+//! matrix --resume run.journal
+//!
 //! # observability: counter summary, span trace + manifest, heartbeat
 //! matrix --metrics --trace-out trace.jsonl --progress
 //! ```
@@ -36,8 +42,8 @@ fn main() {
             eprintln!("matrix: {e}");
             eprintln!(
                 "usage: matrix [--threads N] [--cells SPEC] [--models N] [--replay-check] \
-                 [--cache PATH] [--metrics] [--trace-out FILE] [--progress] \
-                 [--worker | --merge FILE...]"
+                 [--cache PATH] [--journal PATH | --resume PATH] [--metrics] \
+                 [--trace-out FILE] [--progress] [--worker | --merge FILE...]"
             );
             std::process::exit(2);
         }
@@ -91,39 +97,153 @@ fn main() {
         }
     };
 
-    let proved = match &args.cache {
-        None => tp_bench::run_matrix_cells(&matrix, &indices, progress),
-        Some(path) => {
-            // A missing cache file is a cold start, not an error; a
-            // malformed one is untrusted input and fails loudly rather
-            // than silently proving everything live.
-            let mut cache = match std::fs::read_to_string(path) {
-                Ok(text) => match tp_core::ProofCache::load(&text) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("matrix: cannot parse cache {path}: {e}");
-                        std::process::exit(tp_bench::cli::EXIT_MALFORMED);
+    let proved = if let Some(path) = args.journal.as_deref().or(args.resume.as_deref()) {
+        run_journaled(&matrix, &indices, path, args.resume.is_some(), progress)
+    } else {
+        match &args.cache {
+            None => tp_bench::run_matrix_cells(&matrix, &indices, progress),
+            Some(path) => {
+                // A missing cache file is a cold start, not an error; a
+                // malformed one is untrusted input and fails loudly rather
+                // than silently proving everything live.
+                let mut cache = match std::fs::read_to_string(path) {
+                    Ok(text) => match tp_core::ProofCache::load(&text) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("matrix: cannot parse cache {path}: {e}");
+                            std::process::exit(tp_bench::cli::EXIT_MALFORMED);
+                        }
+                    },
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        tp_core::ProofCache::new()
                     }
-                },
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => tp_core::ProofCache::new(),
-                Err(e) => {
-                    eprintln!("matrix: cannot read cache {path}: {e}");
+                    Err(e) => {
+                        eprintln!("matrix: cannot read cache {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                let (proved, stats) =
+                    tp_bench::run_matrix_cells_cached(&matrix, &indices, &mut cache, progress);
+                eprintln!("{}", tp_bench::cache_summary(&stats, cache.len()));
+                // Atomic replace: a crash mid-persist must leave the
+                // previous cache intact, never a torn file that bricks
+                // the next run with EXIT_MALFORMED.
+                if let Err(e) = tp_core::persist::write_atomic(
+                    std::path::Path::new(path),
+                    cache.save().as_bytes(),
+                ) {
+                    eprintln!("matrix: cannot write cache {path}: {e}");
                     std::process::exit(2);
                 }
-            };
-            let (proved, stats) =
-                tp_bench::run_matrix_cells_cached(&matrix, &indices, &mut cache, progress);
-            eprintln!("{}", tp_bench::cache_summary(&stats, cache.len()));
-            if let Err(e) = std::fs::write(path, cache.save()) {
-                eprintln!("matrix: cannot write cache {path}: {e}");
-                std::process::exit(2);
+                proved
             }
-            proved
         }
     };
 
     tp_bench::finish_telemetry(args.metrics, args.trace_out.as_deref(), indices.len());
 
+    emit_output(&args, proved);
+}
+
+/// The crash-safe sweep path (`--journal` fresh / `--resume` reload):
+/// run against an in-memory cache seeded from the journal's surviving
+/// records, checkpointing every freshly proved cell back to `path`.
+/// Prints the `journal:` stats lines to stderr — the byte-identity
+/// contract keeps stdout for the report/records alone.
+fn run_journaled(
+    matrix: &tp_core::ScenarioMatrix,
+    indices: &[usize],
+    path: &str,
+    resume: bool,
+    progress: impl FnMut(usize, usize, &str),
+) -> Vec<(usize, tp_core::MatrixCell, tp_core::ProofReport)> {
+    use tp_core::journal;
+
+    let p = std::path::Path::new(path);
+    let mut cache = tp_core::ProofCache::new();
+    let mut torn = 0usize;
+    if resume {
+        // A missing journal is a cold start (the crash may have hit
+        // before the first append); a journal that is corrupt anywhere
+        // but its physical tail is untrusted input and fails loudly.
+        match std::fs::read_to_string(p) {
+            Ok(text) => match journal::parse_journal(&text) {
+                Ok((records, stats)) => {
+                    torn = stats.torn_dropped;
+                    eprintln!(
+                        "journal: loaded {} records ({} torn-dropped) from {path}",
+                        stats.records, stats.torn_dropped
+                    );
+                    // Compact the survivors back to disk atomically so
+                    // new appends land after valid bytes, never after a
+                    // torn tail.
+                    if let Err(e) = tp_core::persist::write_atomic(
+                        p,
+                        journal::render_journal(&records).as_bytes(),
+                    ) {
+                        eprintln!("matrix: cannot compact journal {path}: {e}");
+                        std::process::exit(2);
+                    }
+                    for r in records {
+                        cache.insert_entry(r.into_entry());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("matrix: cannot parse journal {path}: {e}");
+                    std::process::exit(tp_bench::cli::EXIT_MALFORMED);
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!("journal: {path} not found, starting cold");
+            }
+            Err(e) => {
+                eprintln!("matrix: cannot read journal {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let open = if resume {
+        journal::JournalWriter::open_append(p)
+    } else {
+        journal::JournalWriter::create(p)
+    };
+    let mut writer = match open {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("matrix: cannot open journal {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (proved, stats, jerr) =
+        tp_bench::run_matrix_cells_journaled(matrix, indices, &mut cache, &mut writer, progress);
+    if let Some(e) = jerr {
+        eprintln!(
+            "matrix: journal append failed: {e} \
+             (sweep completed; a resume would re-prove the unjournaled cells)"
+        );
+    }
+    eprintln!(
+        "journal: {} replayed, {} torn-dropped, {} re-proved",
+        stats.hits,
+        torn,
+        stats.reproved()
+    );
+    if resume {
+        tp_telemetry::count_n(
+            tp_telemetry::Counter::JournalRecordsReplayed,
+            stats.hits as u64,
+        );
+        tp_telemetry::count_n(
+            tp_telemetry::Counter::ResumeCellsReproved,
+            stats.reproved() as u64,
+        );
+    }
+    proved
+}
+
+/// Print the run's stdout: wire records in `--worker` mode, the
+/// rendered report otherwise.
+fn emit_output(args: &SweepArgs, proved: Vec<(usize, tp_core::MatrixCell, tp_core::ProofReport)>) {
     if args.worker {
         // Wire records only on stdout: shard outputs concatenate.
         let mut out = String::new();

@@ -23,6 +23,17 @@
 //!   hit/re-prove statistics go to stderr. A cache file that fails
 //!   wire parsing exits with [`EXIT_MALFORMED`]; entries that parse
 //!   but fail validation are rejected and re-proved (exit 0).
+//! * `--journal PATH` — crash-safe checkpointing (`tp_core::journal`):
+//!   start a fresh journal at `PATH` and append every proved cell as
+//!   it completes, fsynced, so a killed sweep loses at most the cell
+//!   in flight.
+//! * `--resume PATH` — reload a journal a killed `--journal` run left
+//!   behind (applying the torn-tail rule), replay records that survive
+//!   the cache validation gauntlet, re-prove the rest, and keep
+//!   journaling to `PATH`. Output is byte-identical to an
+//!   uninterrupted run. A journal that is corrupt *before* its tail
+//!   exits with [`EXIT_MALFORMED`]. Mutually exclusive with `--cache`
+//!   (the journal already carries the same evidence).
 //!
 //! Telemetry flags (PR 8), all off by default so the proof hot path
 //! keeps its null-sink fast path:
@@ -70,6 +81,10 @@ pub struct SweepArgs {
     pub replay_check: bool,
     /// `--cache PATH`.
     pub cache: Option<String>,
+    /// `--journal PATH` (fresh journal).
+    pub journal: Option<String>,
+    /// `--resume PATH` (reload a journal, then keep journaling).
+    pub resume: Option<String>,
     /// `--worker`.
     pub worker: bool,
     /// `--merge FILE...` (everything after the flag).
@@ -115,6 +130,14 @@ impl SweepArgs {
                     let v = args.next().ok_or("--cache needs a path")?;
                     out.cache = Some(v);
                 }
+                "--journal" => {
+                    let v = args.next().ok_or("--journal needs a path")?;
+                    out.journal = Some(v);
+                }
+                "--resume" => {
+                    let v = args.next().ok_or("--resume needs a path")?;
+                    out.resume = Some(v);
+                }
                 "--worker" => out.worker = true,
                 "--metrics" => out.metrics = true,
                 "--trace-out" => {
@@ -139,6 +162,15 @@ impl SweepArgs {
         }
         if out.trace_out.is_some() && !out.merge.is_empty() {
             return Err("--trace-out does not apply to --merge".into());
+        }
+        if out.journal.is_some() && out.resume.is_some() {
+            return Err("--journal starts fresh and --resume reloads; pick one".into());
+        }
+        if (out.journal.is_some() || out.resume.is_some()) && out.cache.is_some() {
+            return Err("--cache and --journal/--resume are mutually exclusive".into());
+        }
+        if (out.journal.is_some() || out.resume.is_some()) && !out.merge.is_empty() {
+            return Err("--journal/--resume do not apply to --merge".into());
         }
         Ok(out)
     }
@@ -242,6 +274,26 @@ mod tests {
         let w = SweepArgs::parse(strs(&["--worker", "--cache", "c"])).unwrap();
         assert!(w.worker && w.cache.is_some());
         assert!(SweepArgs::parse(strs(&["--cache", "c", "--merge", "a"])).is_err());
+    }
+
+    #[test]
+    fn parses_journal_flags() {
+        let j = SweepArgs::parse(strs(&["--journal", "run.journal"])).unwrap();
+        assert_eq!(j.journal.as_deref(), Some("run.journal"));
+        assert_eq!(j.resume, None);
+        let r = SweepArgs::parse(strs(&["--resume", "run.journal"])).unwrap();
+        assert_eq!(r.resume.as_deref(), Some("run.journal"));
+        assert!(SweepArgs::parse(strs(&["--journal"])).is_err());
+        assert!(SweepArgs::parse(strs(&["--resume"])).is_err());
+        // A journaled worker shard is a valid shard.
+        let w = SweepArgs::parse(strs(&["--worker", "--journal", "j"])).unwrap();
+        assert!(w.worker && w.journal.is_some());
+        // Exclusivity: fresh-vs-resume, cache, merge.
+        assert!(SweepArgs::parse(strs(&["--journal", "a", "--resume", "a"])).is_err());
+        assert!(SweepArgs::parse(strs(&["--journal", "a", "--cache", "c"])).is_err());
+        assert!(SweepArgs::parse(strs(&["--resume", "a", "--cache", "c"])).is_err());
+        assert!(SweepArgs::parse(strs(&["--journal", "a", "--merge", "m"])).is_err());
+        assert!(SweepArgs::parse(strs(&["--resume", "a", "--merge", "m"])).is_err());
     }
 
     #[test]

@@ -185,7 +185,10 @@ pub fn finish_telemetry(metrics: bool, trace_out: Option<&str>, cells: usize) {
         let flags: Vec<String> = std::env::args().skip(1).collect();
         trace.push_str(&telemetry_manifest(&flags.join(" "), cells, &snap));
         trace.push('\n');
-        if let Err(e) = std::fs::write(path, trace) {
+        // Atomic replace: a crash mid-write must not leave a torn
+        // trace a tooling pass would half-parse.
+        if let Err(e) = tp_core::persist::write_atomic(std::path::Path::new(path), trace.as_bytes())
+        {
             eprintln!("telemetry: cannot write trace {path}: {e}");
         }
     }
@@ -842,6 +845,64 @@ pub fn run_matrix_cells_cached(
             );
         },
     )
+}
+
+/// [`run_matrix_cells_cached`] with crash-safe checkpointing: every
+/// freshly proved cacheable cell is appended to `journal` — fsynced —
+/// the moment it completes, so a killed process loses at most the cell
+/// in flight. Journal I/O failures do **not** abort the sweep (the
+/// journal is belt-and-braces; the proof output stays correct): the
+/// first error is returned for the caller to report, and further
+/// appends are skipped rather than spamming a sick disk.
+pub fn run_matrix_cells_journaled(
+    matrix: &tp_core::ScenarioMatrix,
+    indices: &[usize],
+    cache: &mut tp_core::ProofCache,
+    journal: &mut tp_core::JournalWriter,
+    mut progress: impl FnMut(usize, usize, &str),
+) -> (
+    Vec<(usize, tp_core::MatrixCell, tp_core::ProofReport)>,
+    tp_core::CacheStats,
+    Option<std::io::Error>,
+) {
+    let total = indices.len();
+    let mut done = 0usize;
+    let mut jerr: Option<std::io::Error> = None;
+    let mut on_proved = |i: usize,
+                         cell: &tp_core::MatrixCell,
+                         report: &tp_core::ProofReport,
+                         meta: &tp_core::wire::CachedMeta| {
+        if jerr.is_some() {
+            return;
+        }
+        if let Err(e) = journal.append(i, cell, report, meta) {
+            jerr = Some(e);
+        }
+    };
+    let (proved, stats) = matrix.run_subset_journaled(
+        tp_sched::global(),
+        indices,
+        cache,
+        |cell| canonical_scenario(cell.disable),
+        |ci, cell, r| {
+            done += 1;
+            progress(
+                done,
+                total,
+                &format!(
+                    "[{done}/{total}] cell {ci}: {:<28} {}",
+                    cell.label(),
+                    if r.time_protection_proved() {
+                        "PROVED"
+                    } else {
+                        "NOT proved"
+                    }
+                ),
+            );
+        },
+        Some(&mut on_proved),
+    );
+    (proved, stats, jerr)
 }
 
 /// Render a [`tp_core::MatrixReport`] the way `bin/matrix` prints it.

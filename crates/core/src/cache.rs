@@ -102,8 +102,9 @@ pub const CACHE_SALT: u64 = 0x7470_cace_0000_0001;
 /// [`mix_digest`], which uses the same constant internally).
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-/// Fold a byte string into a rolling FNV-1a digest.
-fn fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+/// Fold a byte string into a rolling FNV-1a digest. Shared with the
+/// journal's record framing checksum (`crate::journal`).
+pub(crate) fn fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
@@ -352,6 +353,15 @@ impl ProofCache {
                 report,
             },
         );
+    }
+
+    /// Absorb an already-serialised entry (journal replay, daemon
+    /// recovery) **preserving its stored salt and checksum** — unlike
+    /// [`ProofCache::insert`], nothing is re-stamped, so the lookup
+    /// gauntlet later judges exactly what was on disk. Last write wins
+    /// per key, the same rule as [`ProofCache::load`].
+    pub fn insert_entry(&mut self, entry: CacheEntry) {
+        self.entries.insert(entry.key, entry);
     }
 
     /// Look up and **validate** the entry for `key` against the live

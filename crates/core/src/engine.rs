@@ -41,7 +41,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crate::cache::{CacheMiss, CacheStats, ProofCache};
+use crate::cache::{entry_check, CacheMiss, CacheStats, ProofCache, CACHE_SALT};
 use crate::exhaustive::{
     recorded_leak, space_size, word_for_index_into, ExhaustiveConfig, ExhaustiveMode,
     ExhaustiveRunner, ExhaustiveVerdict,
@@ -52,6 +52,7 @@ use crate::noninterference::{
 };
 use crate::obligation::ObligationResult;
 use crate::proof::{ModelVerdict, ProofReport};
+use crate::wire::CachedMeta;
 use tp_hw::aisa::check_conformance;
 use tp_hw::cache::CacheConfig;
 use tp_hw::clock::TimeModel;
@@ -327,6 +328,10 @@ fn proof_tasks(
 /// it is exactly the two runs the sequential driver performs — one
 /// monitored (P/F/T evidence) and one plain replay (the NI trace).
 fn run_engine_task(task: EngineTask, mode: ProofMode) -> TaskOutput {
+    // Chaos hook: `TP_FAULTS=…:task=panic@n` (containment) and
+    // `task=delay:ms@n` (worker stall) land here, on the worker thread,
+    // before any proof work. One lazily-armed atomic load when unused.
+    crate::faultpoint::apply_inline("task");
     let worker = tp_sched::current_worker();
     match task {
         // The certification replay never needs a trace: its digest
@@ -1164,7 +1169,30 @@ impl ScenarioMatrix {
         indices: &[usize],
         cache: &mut ProofCache,
         make_scenario: F,
+        on_cell: C,
+    ) -> (Vec<(usize, MatrixCell, ProofReport)>, CacheStats)
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+        C: FnMut(usize, &MatrixCell, &ProofReport),
+    {
+        self.run_subset_journaled(pool, indices, cache, make_scenario, on_cell, None)
+    }
+
+    /// [`ScenarioMatrix::run_subset_cached`] with a checkpoint hook:
+    /// when `on_proved` is given it is invoked once per **freshly
+    /// proved cacheable** cell — after the merge, right before the
+    /// cache insert — with the exact [`CachedMeta`] the cache stores,
+    /// which is what a [`crate::journal::JournalWriter`] appends. Hits
+    /// and uncacheable cells never reach the hook, so a resumed run
+    /// journals only what it actually re-proved.
+    pub fn run_subset_journaled<F, C>(
+        &self,
+        pool: &WorkerPool,
+        indices: &[usize],
+        cache: &mut ProofCache,
+        make_scenario: F,
         mut on_cell: C,
+        mut on_proved: Option<OnProved<'_>>,
     ) -> (Vec<(usize, MatrixCell, ProofReport)>, CacheStats)
     where
         F: Fn(&MatrixCell) -> NiScenario,
@@ -1248,6 +1276,15 @@ impl ScenarioMatrix {
                         tp_telemetry::span(SpanKind::Verify, ci, tp_sched::current_worker(), start);
                     }
                     if let Some(k) = key {
+                        if let Some(j) = on_proved.as_mut() {
+                            let meta = CachedMeta {
+                                key: k,
+                                salt: CACHE_SALT,
+                                check: entry_check(k, CACHE_SALT, &fps, &all[ci], &report),
+                                fps: fps.clone(),
+                            };
+                            j(ci, &all[ci], &report, &meta);
+                        }
                         cache.insert(k, all[ci].clone(), report.clone(), fps);
                     }
                     report
@@ -1283,9 +1320,30 @@ impl ScenarioMatrix {
         &self,
         pool: &WorkerPool,
         indices: &[usize],
+        cache: Option<&mut ProofCache>,
+        make_scenario: F,
+        on_cell: C,
+    ) -> (CellOutcomes, CacheStats)
+    where
+        F: Fn(&MatrixCell) -> NiScenario,
+        C: FnMut(usize, &MatrixCell, &Result<ProofReport, String>),
+    {
+        self.run_subset_streamed_journaled(pool, indices, cache, make_scenario, on_cell, None)
+    }
+
+    /// [`ScenarioMatrix::run_subset_streamed_cached`] with the same
+    /// checkpoint hook as [`ScenarioMatrix::run_subset_journaled`]:
+    /// `on_proved` fires once per freshly proved cacheable cell with
+    /// the metadata its journal record stores. Failed (panicked) cells
+    /// are neither cached nor journaled.
+    pub fn run_subset_streamed_journaled<F, C>(
+        &self,
+        pool: &WorkerPool,
+        indices: &[usize],
         mut cache: Option<&mut ProofCache>,
         make_scenario: F,
         mut on_cell: C,
+        mut on_proved: Option<OnProved<'_>>,
     ) -> (CellOutcomes, CacheStats)
     where
         F: Fn(&MatrixCell) -> NiScenario,
@@ -1415,6 +1473,17 @@ impl ScenarioMatrix {
                             match merged {
                                 Ok((report, fps)) => {
                                     if let (Some(k), Some(c)) = (key, cache.as_deref_mut()) {
+                                        if let Some(j) = on_proved.as_mut() {
+                                            let meta = CachedMeta {
+                                                key: k,
+                                                salt: CACHE_SALT,
+                                                check: entry_check(
+                                                    k, CACHE_SALT, &fps, &all[ci], &report,
+                                                ),
+                                                fps: fps.clone(),
+                                            };
+                                            j(ci, &all[ci], &report, &meta);
+                                        }
                                         c.insert(k, all[ci].clone(), report.clone(), fps);
                                     }
                                     Ok(report)
@@ -1619,6 +1688,13 @@ fn apply_cell(mut scenario: NiScenario, cell: &MatrixCell) -> NiScenario {
 /// cell's global index and either its proved report or the panic
 /// message of the task that took it down.
 pub type CellOutcomes = Vec<(usize, MatrixCell, Result<ProofReport, String>)>;
+
+/// The checkpoint callback of the journaled sweep drivers
+/// ([`ScenarioMatrix::run_subset_journaled`] and its streamed twin):
+/// invoked once per freshly proved cacheable cell with the cell's
+/// global index, its coordinates, the merged report, and the exact
+/// cache metadata a journal record (or cache entry) stores.
+pub type OnProved<'a> = &'a mut dyn FnMut(usize, &MatrixCell, &ProofReport, &CachedMeta);
 
 /// The outcome of a [`ScenarioMatrix::run`]: one [`ProofReport`] per
 /// cell, in cell order.

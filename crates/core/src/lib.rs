@@ -31,6 +31,12 @@
 //!   incremental sweeps re-prove only cells whose input fingerprint
 //!   changed and replay the rest, with every hit structurally
 //!   re-validated so a hostile or stale cache can never flip a verdict.
+//! * **[`journal`] / [`persist`] / [`faultpoint`]** — the crash-safety
+//!   layer: an append-only per-cell checkpoint journal with a torn-tail
+//!   rule, atomic write-temp-fsync-rename persistence for every durable
+//!   artifact, and a deterministic seeded fault-injection harness
+//!   (`TP_FAULTS`) that lets CI kill and resume sweeps at planned
+//!   points and demand byte-identical final output.
 //!
 //! Where the paper envisions Isabelle/HOL proofs, this crate *checks*
 //! the same obligations mechanically over executions of the modelled
@@ -83,11 +89,14 @@
 pub mod cache;
 pub mod engine;
 pub mod exhaustive;
+pub mod faultpoint;
 pub mod flush;
+pub mod journal;
 pub mod noninterference;
 pub mod obligation;
 pub mod padding;
 pub mod partition;
+pub mod persist;
 pub mod proof;
 pub mod wcet;
 pub mod wire;
@@ -100,6 +109,7 @@ pub use engine::{
 pub use exhaustive::{
     check_exhaustive, check_exhaustive_mode, ExhaustiveConfig, ExhaustiveMode, ExhaustiveVerdict,
 };
+pub use journal::{JournalRecord, JournalStats, JournalWriter};
 pub use noninterference::{
     check_ni_parts_recording, check_noninterference, obs_digest, NiScenario, NiVerdict,
     TransparencyCert,

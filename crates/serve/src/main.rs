@@ -1,22 +1,26 @@
 //! The `tp-serve` daemon binary.
 //!
 //! ```sh
-//! tp-serve [--addr HOST:PORT] [--threads N] [--cache PATH]
+//! tp-serve [--addr HOST:PORT] [--threads N] [--cache PATH] [--journal DIR]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7477`; port `0` picks an ephemeral port),
 //! prints `tp-serve: listening on ADDR` to stdout, then serves until a
 //! client sends `SHUTDOWN`. `--cache PATH` loads a proof cache at
-//! startup and persists it after every cached job; the exit codes for
-//! a bad cache file match the sweep binaries (`EXIT_MALFORMED` for a
-//! file that fails wire parsing, 2 for an unreadable one).
+//! startup and persists it (atomically, skipping no-op rewrites) after
+//! every cached job and at shutdown; the exit codes for a bad cache
+//! file match the sweep binaries (`EXIT_MALFORMED` for a file that
+//! fails wire parsing, 2 for an unreadable one). `--journal DIR` makes
+//! cached jobs crash-safe: each freshly proved cell is checkpointed to
+//! `DIR/job-<id>.journal` as it completes, and journals left behind by
+//! a killed daemon are absorbed into the cache at the next startup.
 
 use std::path::PathBuf;
 
 use tp_serve::Server;
 
 fn usage() -> ! {
-    eprintln!("usage: tp-serve [--addr HOST:PORT] [--threads N] [--cache PATH]");
+    eprintln!("usage: tp-serve [--addr HOST:PORT] [--threads N] [--cache PATH] [--journal DIR]");
     std::process::exit(tp_bench::cli::EXIT_USAGE);
 }
 
@@ -24,6 +28,7 @@ fn main() {
     let mut addr = "127.0.0.1:7477".to_string();
     let mut threads: Option<usize> = None;
     let mut cache_path: Option<PathBuf> = None;
+    let mut journal_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -34,6 +39,7 @@ fn main() {
                 _ => usage(),
             },
             "--cache" => cache_path = Some(PathBuf::from(value())),
+            "--journal" => journal_dir = Some(PathBuf::from(value())),
             _ => usage(),
         }
     }
@@ -63,7 +69,7 @@ fn main() {
         },
     };
 
-    let server = match Server::bind(&addr, cache, cache_path) {
+    let server = match Server::bind(&addr, cache, cache_path, journal_dir) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("tp-serve: cannot bind {addr}: {e}");

@@ -12,7 +12,8 @@
 //!   the prefix and the concatenation is byte-identical to
 //!   `matrix --worker` stdout for the same subset.
 //! * `DONE job=… proved=… failed=… hits=… missed=… rejected=… uncacheable=…`
-//!   — a sweep's terminal line (or `CANCELLED job=…`).
+//!   — a sweep's terminal line (or `CANCELLED job=…`, or
+//!   `EXPIRED job=… streamed=… total=…` when `deadline_ms=` ran out).
 //! * `ERR code=<code> msg=<text>` — failures. `code=malformed` is the
 //!   protocol twin of the binaries' [`tp_bench::cli::EXIT_MALFORMED`]:
 //!   unparseable input. A cache entry that parses but fails validation
@@ -36,6 +37,11 @@ pub struct SubmitSpec {
     pub fault: Option<usize>,
     /// `nocache` — bypass the cache front for this job.
     pub nocache: bool,
+    /// `deadline_ms=N` — bound the wall-clock wait for this job's
+    /// stream: on expiry the unstreamed cells come back as `err`
+    /// records and the terminal line is `EXPIRED` instead of `DONE`
+    /// (the sweep itself finishes in the background).
+    pub deadline_ms: Option<u64>,
 }
 
 /// One parsed request line.
@@ -100,6 +106,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     spec.cells = Some(parse_cell_spec(v)?);
                 } else if let Some(v) = tok.strip_prefix("fault=") {
                     spec.fault = Some(v.parse().map_err(|_| format!("bad fault={v:?}"))?);
+                } else if let Some(v) = tok.strip_prefix("deadline_ms=") {
+                    let ms: u64 = v.parse().map_err(|_| format!("bad deadline_ms={v:?}"))?;
+                    if ms == 0 {
+                        return Err("deadline_ms must be at least 1".into());
+                    }
+                    spec.deadline_ms = Some(ms);
                 } else {
                     return Err(format!("unknown SUBMIT field {tok:?}"));
                 }
@@ -133,12 +145,13 @@ mod tests {
             Ok(Request::Submit(SubmitSpec::default()))
         );
         assert_eq!(
-            parse_request("SUBMIT models=1 cells=0..3,7 fault=2 nocache"),
+            parse_request("SUBMIT models=1 cells=0..3,7 fault=2 nocache deadline_ms=250"),
             Ok(Request::Submit(SubmitSpec {
                 models: Some(1),
                 cells: Some(vec![0, 1, 2, 7]),
                 fault: Some(2),
                 nocache: true,
+                deadline_ms: Some(250),
             }))
         );
     }
@@ -153,5 +166,7 @@ mod tests {
         assert!(parse_request("SUBMIT models=0").is_err());
         assert!(parse_request("SUBMIT cells=3..3").is_err());
         assert!(parse_request("SUBMIT cache=off").is_err());
+        assert!(parse_request("SUBMIT deadline_ms=0").is_err());
+        assert!(parse_request("SUBMIT deadline_ms=soon").is_err());
     }
 }

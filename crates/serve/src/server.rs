@@ -10,6 +10,14 @@
 //!
 //! # Concurrency model
 //!
+//! Each submitted job runs its sweep on a dedicated *job thread* and
+//! streams finished cells to the submitting connection over a channel.
+//! The split is what makes the failure modes independent: the client
+//! vanishing kills only the stream (the sweep completes and warms the
+//! cache), and a wall-clock deadline expiring abandons only the wait
+//! (the records the client never saw become `err` records in its
+//! stream, never a wedged daemon).
+//!
 //! The proof cache is one [`Mutex`]: a cached job holds it for the
 //! duration of its sweep, so concurrent cached jobs serialise (the pool
 //! underneath is already saturated by one sweep; interleaving two would
@@ -17,24 +25,41 @@
 //! concurrently. `STATUS`, `CANCEL` and `METRICS` never wait on a
 //! sweep — they touch only the job registry and telemetry.
 //!
-//! # Cancellation
+//! # Cancellation and deadlines
 //!
-//! `CANCEL job=N` stops the job's *stream*: already-queued proof tasks
-//! still complete on the pool (there is no preemption mid-proof) and —
-//! for a cached job — still populate the cache, so a cancelled sweep's
-//! work is not wasted. The submitting connection gets `CANCELLED` as
-//! its terminal line instead of `DONE`.
+//! `CANCEL job=N` (or the submitting client disconnecting, or an
+//! injected `serve.stream` fault) stops the job's *stream*:
+//! already-queued proof tasks still complete on the pool (there is no
+//! preemption mid-proof) and — for a cached job — still populate the
+//! cache, so a cancelled sweep's work is not wasted. The submitting
+//! connection gets `CANCELLED` as its terminal line instead of `DONE`.
+//! `SUBMIT … deadline_ms=N` bounds the wall-clock wait: on expiry the
+//! unstreamed cells are reported as `err` records and the terminal
+//! line is `EXPIRED`, while the sweep itself keeps running in the
+//! background (counted under `jobs_deadline_expired`).
+//!
+//! # Crash safety
+//!
+//! All cache persistence goes through [`tp_core::persist`] (atomic
+//! temp-file + fsync + rename) and is skipped when a job changed
+//! nothing — an all-hit warm job does not rewrite an identical file.
+//! With a journal directory configured, every cached job additionally
+//! checkpoints its freshly proved cells to `job-<id>.journal` as they
+//! complete; a daemon killed mid-job absorbs the surviving records at
+//! the next startup (through the full cache validation gauntlet on
+//! first use). `SHUTDOWN` refuses new jobs, drains the in-flight ones,
+//! persists the cache, and only then answers and exits.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use tp_core::engine::MatrixCell;
 use tp_core::noninterference::NiScenario;
-use tp_core::{wire, ProofCache, ProofReport};
+use tp_core::{wire, CacheStats, JournalWriter, ProofCache, ProofReport};
 use tp_kernel::program::{Instr, Program, StepFeedback};
 
 use crate::protocol::{parse_request, Request, SubmitSpec};
@@ -43,6 +68,19 @@ use crate::protocol::{parse_request, Request, SubmitSpec};
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 /// Finished jobs kept in the registry for `STATUS` history.
 const JOB_HISTORY: usize = 64;
+/// Fault point fired once per streamed record on the connection side;
+/// `ioerr` simulates the client dropping mid-stream.
+const STREAM_POINT: &str = "serve.stream";
+
+/// How long `SHUTDOWN` waits for in-flight jobs before giving up on
+/// them (`TP_SERVE_DRAIN_MS` overrides; tests shrink it).
+fn drain_window() -> Duration {
+    std::env::var("TP_SERVE_DRAIN_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(30))
+}
 
 /// Recover a poisoned lock: the guarded values (cache, job registry)
 /// are structurally valid between mutations, so a handler thread that
@@ -69,6 +107,7 @@ impl Program for PanickingProgram {
 /// job and `STATUS`/`CANCEL` handlers on other connections.
 struct JobState {
     cancelled: AtomicBool,
+    expired: AtomicBool,
     finished: AtomicBool,
     done: AtomicUsize,
     failed: AtomicUsize,
@@ -85,22 +124,35 @@ struct JobEntry {
 struct Shared {
     cache: Mutex<ProofCache>,
     cache_path: Option<PathBuf>,
+    journal_dir: Option<PathBuf>,
     jobs: Mutex<Vec<JobEntry>>,
     next_job: AtomicU64,
+    /// Jobs registered but not yet finished — what `SHUTDOWN` drains.
+    active_jobs: AtomicUsize,
+    /// Set first (under the jobs lock): refuse new jobs, keep serving.
+    draining: AtomicBool,
+    /// Set last, after drain + persist: stops the accept loop.
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    /// Register a new job and hand back its id and live state.
-    fn register_job(&self, cells: usize) -> (u64, Arc<JobState>) {
+    /// Register a new job and hand back its id and live state, or
+    /// `None` when the daemon is draining for shutdown. The check and
+    /// the registration share the jobs lock, so a job is either seen
+    /// by the drain or refused — never missed between the two.
+    fn register_job(&self, cells: usize) -> Option<(u64, Arc<JobState>)> {
+        let mut jobs = lock(&self.jobs);
+        if self.draining.load(Ordering::SeqCst) {
+            return None;
+        }
         let id = self.next_job.fetch_add(1, Ordering::SeqCst);
         let state = Arc::new(JobState {
             cancelled: AtomicBool::new(false),
+            expired: AtomicBool::new(false),
             finished: AtomicBool::new(false),
             done: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
         });
-        let mut jobs = lock(&self.jobs);
         // Bound the registry: drop the oldest *finished* entries once
         // past the history window; running jobs are never evicted.
         while jobs.len() >= JOB_HISTORY {
@@ -119,8 +171,33 @@ impl Shared {
             cells,
             state: Arc::clone(&state),
         });
-        (id, state)
+        self.active_jobs.fetch_add(1, Ordering::SeqCst);
+        Some((id, state))
     }
+}
+
+/// Decrements the active-job count when the job thread ends, however
+/// it ends — the drop guard is what keeps a panicking sweep from
+/// wedging `SHUTDOWN`'s drain forever.
+struct ActiveGuard(Arc<Shared>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active_jobs.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One message from a job thread to its submitting connection.
+enum Msg {
+    /// One finished cell's rendered record group (multi-line).
+    Rec(String),
+    /// The sweep finished; everything the terminal line needs.
+    Done {
+        proved: usize,
+        failed: usize,
+        stats: CacheStats,
+        entries: usize,
+    },
 }
 
 /// The resident proof service: bind once, [`Server::serve`] until a
@@ -133,16 +210,34 @@ pub struct Server {
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) fronting
     /// `cache`. When `cache_path` is set, the cache is persisted there
-    /// after every cached job, so warm state survives daemon restarts.
-    pub fn bind(addr: &str, cache: ProofCache, cache_path: Option<PathBuf>) -> io::Result<Server> {
+    /// (atomically, and only when a job actually changed it) after
+    /// every cached job and at shutdown, so warm state survives daemon
+    /// restarts. When `journal_dir` is set, cached jobs checkpoint
+    /// each proved cell to `job-<id>.journal` in that directory, and
+    /// journals that crashed daemons left behind are absorbed into the
+    /// cache here, before the first connection.
+    pub fn bind(
+        addr: &str,
+        cache: ProofCache,
+        cache_path: Option<PathBuf>,
+        journal_dir: Option<PathBuf>,
+    ) -> io::Result<Server> {
+        let mut cache = cache;
+        if let Some(dir) = &journal_dir {
+            std::fs::create_dir_all(dir)?;
+            absorb_job_journals(dir, &mut cache, cache_path.as_deref());
+        }
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 cache: Mutex::new(cache),
                 cache_path,
+                journal_dir,
                 jobs: Mutex::new(Vec::new()),
                 next_job: AtomicU64::new(1),
+                active_jobs: AtomicUsize::new(0),
+                draining: AtomicBool::new(false),
                 shutdown: AtomicBool::new(false),
             }),
         })
@@ -155,9 +250,10 @@ impl Server {
 
     /// Accept and serve connections until `SHUTDOWN`. Each connection
     /// gets its own thread; a handler that dies takes down only its
-    /// connection. Returns once the shutdown flag is observed —
-    /// connections still streaming at that point are detached, not
-    /// joined (the process exiting is what actually ends them).
+    /// connection. Returns once the shutdown flag is observed — and
+    /// because the `SHUTDOWN` handler sets it only *after* draining
+    /// in-flight jobs and persisting the cache, returning here is
+    /// already safe to exit on.
     pub fn serve(&self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
         loop {
@@ -178,6 +274,70 @@ impl Server {
             }
         }
     }
+}
+
+/// Absorb `*.journal` files crashed jobs left in `dir` into `cache` —
+/// every record still has to survive the validation gauntlet before a
+/// verdict is believed. An absorbed journal is deleted once its
+/// records are at least as durable as the configuration allows
+/// (persisted first when `cache_path` is set); a journal that fails to
+/// parse is quarantined to `*.journal.bad` instead of trusted.
+fn absorb_job_journals(dir: &Path, cache: &mut ProofCache, cache_path: Option<&Path>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut files: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("journal"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return;
+    }
+    let mut absorbed = 0usize;
+    let mut good = Vec::new();
+    for p in files {
+        let text = match std::fs::read_to_string(&p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tp-serve: cannot read journal {}: {e}", p.display());
+                continue;
+            }
+        };
+        match tp_core::journal::parse_journal(&text) {
+            Ok((records, stats)) => {
+                absorbed += stats.records;
+                for r in records {
+                    cache.insert_entry(r.into_entry());
+                }
+                good.push(p);
+            }
+            Err(e) => {
+                eprintln!(
+                    "tp-serve: journal {} is corrupt ({e}); quarantining",
+                    p.display()
+                );
+                let _ = std::fs::rename(&p, p.with_extension("journal.bad"));
+            }
+        }
+    }
+    let mut durable = true;
+    if let Some(path) = cache_path {
+        if let Err(e) = tp_core::persist::write_atomic(path, cache.save().as_bytes()) {
+            eprintln!("tp-serve: cannot persist absorbed cache: {e}");
+            durable = false;
+        }
+    }
+    if durable {
+        for p in &good {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+    eprintln!(
+        "tp-serve: absorbed {absorbed} journal record(s) from {} crashed job(s)",
+        good.len()
+    );
 }
 
 /// Serve one connection: one request per line until EOF, shutdown, or
@@ -229,7 +389,9 @@ fn dispatch(line: &str, shared: &Arc<Shared>, out: &mut TcpStream) -> io::Result
             let jobs = lock(&shared.jobs);
             writeln!(out, "OK jobs={}", jobs.len())?;
             for j in jobs.iter() {
-                let state = if j.state.cancelled.load(Ordering::SeqCst) {
+                let state = if j.state.expired.load(Ordering::SeqCst) {
+                    "expired"
+                } else if j.state.cancelled.load(Ordering::SeqCst) {
                     "cancelled"
                 } else if j.state.finished.load(Ordering::SeqCst) {
                     "done"
@@ -281,6 +443,42 @@ fn dispatch(line: &str, shared: &Arc<Shared>, out: &mut TcpStream) -> io::Result
             }
         },
         Request::Shutdown => {
+            // Refuse new jobs from this instant (the flag is set under
+            // the jobs lock, so no SUBMIT can slip between the check
+            // and its registration), then drain the in-flight ones.
+            {
+                let _jobs = lock(&shared.jobs);
+                shared.draining.store(true, Ordering::SeqCst);
+            }
+            let give_up = Instant::now() + drain_window();
+            while shared.active_jobs.load(Ordering::SeqCst) > 0 && Instant::now() < give_up {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if shared.active_jobs.load(Ordering::SeqCst) > 0 {
+                eprintln!("tp-serve: drain window expired with jobs still running");
+            }
+            // Persist after the drain so the final cache includes every
+            // drained job. A wedged sweep still holding the lock must
+            // not wedge shutdown too: bounded try-lock, then give up on
+            // persistence (the per-job persists already ran).
+            if let Some(path) = &shared.cache_path {
+                let lock_deadline = Instant::now() + Duration::from_secs(2);
+                loop {
+                    if let Ok(cache) = shared.cache.try_lock() {
+                        if let Err(e) =
+                            tp_core::persist::write_atomic(path, cache.save().as_bytes())
+                        {
+                            eprintln!("tp-serve: cannot write cache {}: {e}", path.display());
+                        }
+                        break;
+                    }
+                    if Instant::now() >= lock_deadline {
+                        eprintln!("tp-serve: cache busy at shutdown; keeping last persisted state");
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
             writeln!(out, "OK shutting-down")?;
             end_block(out)?;
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -316,9 +514,16 @@ fn detonate_hi(scenario: NiScenario) -> NiScenario {
     }
 }
 
-/// Run one `SUBMIT`: stream `REC` lines as cells complete, then the
-/// `DONE`/`CANCELLED` terminal line. The sweep construction mirrors
-/// `matrix --worker` exactly — same [`tp_bench::shaped_matrix`], same
+/// Write one cell's record group as `REC `-prefixed lines.
+fn write_rec_lines(out: &mut TcpStream, rec: &str) -> io::Result<()> {
+    rec.lines().try_for_each(|l| writeln!(out, "REC {l}"))?;
+    out.flush()
+}
+
+/// Run one `SUBMIT`: spawn the sweep on a job thread, stream `REC`
+/// lines back as cells complete, then the `DONE`/`CANCELLED`/`EXPIRED`
+/// terminal line. The sweep construction mirrors `matrix --worker`
+/// exactly — same [`tp_bench::shaped_matrix`], same
 /// [`tp_bench::canonical_scenario`] — so the stripped `REC` payload is
 /// byte-identical to that binary's stdout for the same subset.
 fn run_submit(shared: &Arc<Shared>, spec: SubmitSpec, out: &mut TcpStream) -> io::Result<()> {
@@ -347,7 +552,9 @@ fn run_submit(shared: &Arc<Shared>, spec: SubmitSpec, out: &mut TcpStream) -> io
         }
     };
 
-    let (job_id, job) = shared.register_job(indices.len());
+    let Some((job_id, job)) = shared.register_job(indices.len()) else {
+        return err_block(out, "shutting-down", "daemon is draining");
+    };
     writeln!(out, "OK job={job_id} cells={}", indices.len())?;
     out.flush()?;
 
@@ -360,73 +567,241 @@ fn run_submit(shared: &Arc<Shared>, spec: SubmitSpec, out: &mut TcpStream) -> io
         }
     };
 
-    // The client vanishing mid-stream must not abort the sweep (queued
-    // proof work still warms the cache); remember the first write error
-    // and go quiet instead.
-    let mut io_err: Option<io::Error> = None;
+    let deadline = spec
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (tx, rx) = mpsc::channel::<Msg>();
+    let worker_shared = Arc::clone(shared);
     let js = Arc::clone(&job);
-    let emit = |i: usize, cell: &MatrixCell, outcome: &Result<ProofReport, String>| {
-        js.done.fetch_add(1, Ordering::SeqCst);
-        if outcome.is_err() {
-            js.failed.fetch_add(1, Ordering::SeqCst);
+    let nocache = spec.nocache;
+    let job_indices = indices.clone();
+    let spawned = std::thread::Builder::new()
+        .name(format!("tp-serve-job-{job_id}"))
+        .spawn(move || {
+            run_job(
+                &worker_shared,
+                job_id,
+                &js,
+                &matrix,
+                &job_indices,
+                nocache,
+                make_scenario,
+                &tx,
+            )
+        });
+    if let Err(e) = spawned {
+        shared.active_jobs.fetch_sub(1, Ordering::SeqCst);
+        job.finished.store(true, Ordering::SeqCst);
+        eprintln!("tp-serve: cannot spawn job thread: {e}");
+        return err_block(out, "internal", "cannot spawn job thread");
+    }
+
+    // The connection side: forward records, watch the deadline, and
+    // turn a vanished client into a cancellation instead of an abort.
+    let mut streamed = 0usize;
+    let mut io_err: Option<io::Error> = None;
+    loop {
+        let msg = match deadline {
+            None => match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            },
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(left) {
+                    Ok(m) => m,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // The job blew its wall-clock budget: stop
+                        // waiting, report every unstreamed cell as an
+                        // err record, and leave the sweep to finish in
+                        // the background (its work still warms the
+                        // cache — the daemon is never wedged).
+                        job.cancelled.store(true, Ordering::SeqCst);
+                        job.expired.store(true, Ordering::SeqCst);
+                        tp_telemetry::count(tp_telemetry::Counter::JobsDeadlineExpired);
+                        drop(rx);
+                        if io_err.is_none() {
+                            for &ci in &indices[streamed..] {
+                                let mut rec = String::new();
+                                wire::write_cell_error(&mut rec, ci, "deadline expired");
+                                write_rec_lines(out, &rec)?;
+                            }
+                            writeln!(
+                                out,
+                                "EXPIRED job={job_id} streamed={streamed} total={}",
+                                indices.len()
+                            )?;
+                            return end_block(out);
+                        }
+                        return Err(io_err.expect("checked above"));
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        match msg {
+            Msg::Rec(rec) => {
+                streamed += 1;
+                if io_err.is_some() || job.cancelled.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let injected = matches!(
+                    tp_core::faultpoint::fire(STREAM_POINT),
+                    Some(tp_core::faultpoint::Fault::IoError)
+                );
+                let sent = if injected {
+                    Err(tp_core::faultpoint::injected_io_error(STREAM_POINT))
+                } else {
+                    write_rec_lines(out, &rec)
+                };
+                if let Err(e) = sent {
+                    // Client gone mid-stream: cancel the job so the
+                    // sweep stops rendering records; queued proof work
+                    // still completes and warms the cache.
+                    job.cancelled.store(true, Ordering::SeqCst);
+                    io_err = Some(e);
+                }
+            }
+            Msg::Done {
+                proved,
+                failed,
+                stats,
+                entries,
+            } => {
+                if let Some(e) = io_err {
+                    return Err(e);
+                }
+                if job.cancelled.load(Ordering::SeqCst) {
+                    writeln!(out, "CANCELLED job={job_id}")?;
+                    return end_block(out);
+                }
+                writeln!(
+                    out,
+                    "DONE job={job_id} proved={proved} failed={failed} hits={} missed={} rejected={} uncacheable={} entries={entries}",
+                    stats.hits, stats.misses, stats.rejected, stats.uncacheable,
+                )?;
+                return end_block(out);
+            }
         }
-        if io_err.is_some() || js.cancelled.load(Ordering::SeqCst) {
-            return;
+    }
+    // The channel died without a Done: the job thread panicked.
+    match io_err {
+        Some(e) => Err(e),
+        None => err_block(out, "internal", "sweep thread died"),
+    }
+}
+
+/// The job-thread body: run the sweep (cached or not), stream each
+/// cell over `tx`, persist what changed, and finish with a
+/// [`Msg::Done`]. Runs to completion even when nobody is listening —
+/// a cancelled or expired job still warms the cache.
+#[allow(clippy::too_many_arguments)]
+fn run_job(
+    shared: &Arc<Shared>,
+    job_id: u64,
+    job: &Arc<JobState>,
+    matrix: &tp_core::ScenarioMatrix,
+    indices: &[usize],
+    nocache: bool,
+    make_scenario: impl Fn(&MatrixCell) -> NiScenario,
+    tx: &mpsc::Sender<Msg>,
+) {
+    let _active = ActiveGuard(Arc::clone(shared));
+    let emit = |i: usize, cell: &MatrixCell, outcome: &Result<ProofReport, String>| {
+        job.done.fetch_add(1, Ordering::SeqCst);
+        if outcome.is_err() {
+            job.failed.fetch_add(1, Ordering::SeqCst);
+        }
+        if job.cancelled.load(Ordering::SeqCst) {
+            return; // nobody is listening: skip the rendering work
         }
         let mut rec = String::new();
         match outcome {
             Ok(report) => wire::write_cell(&mut rec, i, cell, report),
             Err(msg) => wire::write_cell_error(&mut rec, i, msg),
         }
-        let sent: io::Result<()> = rec.lines().try_for_each(|l| writeln!(out, "REC {l}"));
-        if let Err(e) = sent.and_then(|()| out.flush()) {
-            io_err = Some(e);
-        }
+        // A send failure means the receiver gave up (deadline); the
+        // sweep still runs to completion for the cache's sake.
+        let _ = tx.send(Msg::Rec(rec));
     };
 
-    let ((outcomes, stats), entries) = if spec.nocache {
+    let ((outcomes, stats), entries) = if nocache {
         let r = matrix.run_subset_streamed_cached(
             tp_sched::global(),
-            &indices,
+            indices,
             None,
-            make_scenario,
+            &make_scenario,
             emit,
         );
-        (r, lock(&shared.cache).len())
+        let n = lock(&shared.cache).len();
+        (r, n)
     } else {
+        let jpath = shared
+            .journal_dir
+            .as_ref()
+            .map(|d| d.join(format!("job-{job_id}.journal")));
+        let mut jwriter = jpath.as_ref().and_then(|p| match JournalWriter::create(p) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                eprintln!("tp-serve: cannot open journal {}: {e}", p.display());
+                None
+            }
+        });
+        let mut jdead = false;
+        let mut on_proved =
+            |i: usize, cell: &MatrixCell, report: &ProofReport, meta: &wire::CachedMeta| {
+                if jdead {
+                    return;
+                }
+                if let Some(w) = jwriter.as_mut() {
+                    if let Err(e) = w.append(i, cell, report, meta) {
+                        eprintln!("tp-serve: journal append failed for job {job_id}: {e}");
+                        jdead = true;
+                    }
+                }
+            };
         let mut cache = lock(&shared.cache);
-        let r = matrix.run_subset_streamed_cached(
+        let before = cache.len();
+        let r = matrix.run_subset_streamed_journaled(
             tp_sched::global(),
-            &indices,
+            indices,
             Some(&mut cache),
-            make_scenario,
+            &make_scenario,
             emit,
+            Some(&mut on_proved),
         );
+        // Persist atomically, and only when the job actually changed
+        // the entry set — an all-hit warm job skips the no-op rewrite.
+        // (`rejected > 0` means an entry was replaced in place, which
+        // `len()` alone cannot see.)
+        let changed = cache.len() != before || r.1.rejected > 0;
+        let mut persist_failed = false;
         if let Some(path) = &shared.cache_path {
-            if let Err(e) = std::fs::write(path, cache.save()) {
-                eprintln!("tp-serve: cannot write cache {}: {e}", path.display());
+            if changed {
+                if let Err(e) = tp_core::persist::write_atomic(path, cache.save().as_bytes()) {
+                    eprintln!("tp-serve: cannot write cache {}: {e}", path.display());
+                    persist_failed = true;
+                }
             }
         }
-        (r, cache.len())
+        let n = cache.len();
+        drop(cache);
+        // The job's journal is superseded by the in-memory cache (and
+        // the persisted file, when configured) — delete it, unless the
+        // persist failed and the journal is the only durable copy.
+        if let Some(p) = &jpath {
+            if !persist_failed {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+        (r, n)
     };
     job.finished.store(true, Ordering::SeqCst);
-
-    if let Some(e) = io_err {
-        return Err(e);
-    }
-    if job.cancelled.load(Ordering::SeqCst) {
-        writeln!(out, "CANCELLED job={job_id}")?;
-        return end_block(out);
-    }
     let proved = outcomes.iter().filter(|(_, _, r)| r.is_ok()).count();
-    writeln!(
-        out,
-        "DONE job={job_id} proved={proved} failed={} hits={} missed={} rejected={} uncacheable={} entries={entries}",
-        outcomes.len() - proved,
-        stats.hits,
-        stats.misses,
-        stats.rejected,
-        stats.uncacheable,
-    )?;
-    end_block(out)
+    let _ = tx.send(Msg::Done {
+        proved,
+        failed: outcomes.len() - proved,
+        stats,
+        entries,
+    });
 }

@@ -1,12 +1,18 @@
 //! End-to-end contract of the proof service, driven over a real TCP
 //! socket: streamed records byte-identical to `matrix --worker`, warm
 //! resubmits answered from the cache, a detonating cell contained as
-//! one `err` record while the daemon keeps serving, and the protocol
-//! edges (PING/STATUS/CANCEL/METRICS/malformed/SHUTDOWN).
+//! one `err` record while the daemon keeps serving, the protocol edges
+//! (PING/STATUS/CANCEL/METRICS/malformed/SHUTDOWN), and the crash-safe
+//! lifecycle: SHUTDOWN drains in-flight jobs before persisting, a
+//! `deadline_ms=` expiry yields `err` records instead of a wedged
+//! daemon, a vanished client cancels only its stream, and journals
+//! left by killed daemons are absorbed at the next startup.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use tp_core::ProofCache;
 use tp_serve::Server;
@@ -50,6 +56,15 @@ impl Client {
         }
     }
 
+    /// Read one raw response line (for peeking at a block's first line
+    /// before doing something else mid-stream).
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("line reads");
+        assert_ne!(n, 0, "connection closed mid-line");
+        line.trim_end_matches('\n').to_string()
+    }
+
     /// Send a request and read its whole response block.
     fn round_trip(&mut self, line: &str) -> Vec<String> {
         self.send(line);
@@ -60,10 +75,50 @@ impl Client {
 /// Bind an in-process service on an ephemeral port and serve it from a
 /// background thread.
 fn start_service(cache: ProofCache) -> (SocketAddr, Client) {
-    let server = Server::bind("127.0.0.1:0", cache, None).expect("service binds");
+    start_service_at(cache, None, None)
+}
+
+/// [`start_service`] with persistence knobs.
+fn start_service_at(
+    cache: ProofCache,
+    cache_path: Option<PathBuf>,
+    journal_dir: Option<PathBuf>,
+) -> (SocketAddr, Client) {
+    let server =
+        Server::bind("127.0.0.1:0", cache, cache_path, journal_dir).expect("service binds");
     let addr = server.local_addr().expect("bound address resolves");
     std::thread::spawn(move || server.serve().expect("accept loop stays up"));
     (addr, Client::connect(addr))
+}
+
+/// A scratch path unique to this test run.
+fn scratch_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "tp_serve_e2e_{}_{}_{tag}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+/// Poll `STATUS` until `pred` accepts the given job's line.
+fn wait_for_job(client: &mut Client, job: u64, pred: impl Fn(&str) -> bool) -> String {
+    let give_up = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = client.round_trip("STATUS");
+        let line = status
+            .iter()
+            .find(|l| l.starts_with(&format!("JOB id={job} ")))
+            .unwrap_or_else(|| panic!("job {job} listed: {status:?}"))
+            .clone();
+        if pred(&line) {
+            return line;
+        }
+        assert!(
+            Instant::now() < give_up,
+            "job {job} never reached the expected state: {line}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
 }
 
 /// The records `matrix --worker` would print for this subset, computed
@@ -336,4 +391,161 @@ fn the_daemon_binary_boots_persists_its_cache_and_shuts_down() {
     let status = daemon.wait().expect("daemon exits");
     std::fs::remove_file(&cache_path).ok();
     assert!(status.success(), "clean shutdown exit: {status:?}");
+}
+
+#[test]
+fn shutdown_drains_the_in_flight_job_persists_and_only_then_answers() {
+    let cache_path = scratch_path("drain.cache");
+    let jdir = scratch_path("drain.journal.d");
+    let (addr, mut submitter) = start_service_at(
+        ProofCache::new(),
+        Some(cache_path.clone()),
+        Some(jdir.clone()),
+    );
+
+    // Start a sweep, and only after its job is registered (the OK line
+    // proves it) ask a second connection to shut the daemon down.
+    submitter.send("SUBMIT models=1 cells=0..7");
+    let first = submitter.read_line();
+    assert!(first.starts_with("OK job="), "{first}");
+
+    let mut admin = Client::connect(addr);
+    assert_eq!(admin.round_trip("SHUTDOWN"), vec!["OK shutting-down"]);
+
+    // The drain ran before the answer: the in-flight job completed in
+    // full — every record streamed, terminal DONE, nothing truncated.
+    let block = submitter.read_block();
+    assert_eq!(
+        stripped_records(&block),
+        reference_records(Some(1), &[0, 1, 2, 3, 4, 5, 6]),
+        "drained stream"
+    );
+    assert_eq!(field(done_line(&block), "proved="), 7);
+
+    // And the drained work is durable: the persisted cache carries all
+    // seven entries, and the job's journal was superseded and removed.
+    let text = std::fs::read_to_string(&cache_path).expect("cache persisted");
+    assert_eq!(ProofCache::load(&text).expect("cache parses").len(), 7);
+    let leftovers: Vec<_> = std::fs::read_dir(&jdir)
+        .expect("journal dir exists")
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    assert!(leftovers.is_empty(), "journals cleaned up: {leftovers:?}");
+
+    std::fs::remove_file(&cache_path).ok();
+    std::fs::remove_dir_all(&jdir).ok();
+}
+
+#[test]
+fn a_deadline_expiry_yields_err_records_and_an_expired_line_not_a_wedged_daemon() {
+    // The expiry counter needs a live sink (process-wide, idempotent).
+    tp_telemetry::install(tp_telemetry::TelemetrySink::counters());
+    let (_addr, mut client) = start_service(ProofCache::new());
+
+    // A cold seven-cell sweep cannot finish in a millisecond: the wait
+    // expires, the unstreamed cells come back as err records, and the
+    // terminal line is EXPIRED — the connection stays usable.
+    let block = client.round_trip("SUBMIT models=1 cells=0..7 deadline_ms=1");
+    let job = field(&block[0], "job=");
+    let last = block.last().expect("terminal line").clone();
+    assert!(
+        last.starts_with(&format!("EXPIRED job={job} ")),
+        "{block:?}"
+    );
+    assert_eq!(field(&last, "total="), 7, "{last}");
+    let err_records = block
+        .iter()
+        .filter(|l| l.starts_with("REC err ") && l.contains("deadline%20expired"))
+        .count() as u64;
+    assert_eq!(
+        field(&last, "streamed=") + err_records,
+        7,
+        "every cell accounted for: {block:?}"
+    );
+
+    // The sweep finishes in the background and still warms the cache.
+    let line = wait_for_job(&mut client, job, |l| field(l, "done=") == 7);
+    assert!(line.contains("state=expired"), "{line}");
+    let block = client.round_trip("SUBMIT models=1 cells=0..7");
+    assert_eq!(field(done_line(&block), "hits="), 7, "{block:?}");
+
+    // The expiry is visible on the counters.
+    let metrics = client.round_trip("METRICS");
+    let m = metrics
+        .iter()
+        .find(|l| l.starts_with("METRIC jobs_deadline_expired "))
+        .expect("expiry counter reported");
+    let expired: u64 = m.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(expired >= 1, "{m}");
+}
+
+#[test]
+fn a_vanished_client_cancels_its_stream_but_the_sweep_still_warms_the_cache() {
+    let (addr, mut doomed) = start_service(ProofCache::new());
+    doomed.send("SUBMIT models=1 cells=0..7");
+    let first = doomed.read_line();
+    assert!(first.starts_with("OK job="), "{first}");
+    let job = field(&first, "job=");
+    drop(doomed); // the client vanishes mid-stream
+
+    // The failed record write cancels the job — but only its stream:
+    // the sweep runs to completion and proves every cell.
+    let mut admin = Client::connect(addr);
+    let line = wait_for_job(&mut admin, job, |l| {
+        l.contains("state=cancelled") && field(l, "done=") == 7
+    });
+    assert_eq!(field(&line, "failed="), 0, "{line}");
+
+    // ... and that work landed in the cache.
+    let block = admin.round_trip("SUBMIT models=1 cells=0..7");
+    assert_eq!(field(done_line(&block), "hits="), 7, "{block:?}");
+}
+
+#[test]
+fn leftover_job_journals_are_absorbed_at_startup() {
+    use tp_core::engine::MatrixCell;
+    use tp_core::wire::CachedMeta;
+    use tp_core::ProofReport;
+
+    let jdir = scratch_path("absorb.journal.d");
+    std::fs::create_dir_all(&jdir).expect("journal dir");
+
+    // Fabricate what a killed daemon leaves behind: a per-job journal
+    // holding five proved cells, written through the real writer.
+    let matrix = tp_bench::shaped_matrix(Some(1));
+    let indices: Vec<usize> = (0..5).collect();
+    let mut seed_cache = ProofCache::new();
+    let mut writer =
+        tp_core::JournalWriter::create(&jdir.join("job-9.journal")).expect("journal opens");
+    let mut on_proved = |i: usize, cell: &MatrixCell, report: &ProofReport, meta: &CachedMeta| {
+        writer.append(i, cell, report, meta).expect("append");
+    };
+    matrix.run_subset_journaled(
+        tp_sched::global(),
+        &indices,
+        &mut seed_cache,
+        |cell| tp_bench::canonical_scenario(cell.disable),
+        |_, _, _| {},
+        Some(&mut on_proved),
+    );
+    drop(writer);
+
+    // A daemon started over that directory begins warm: the records
+    // are absorbed (and the journal consumed) before the first job.
+    let (_addr, mut client) = start_service_at(ProofCache::new(), None, Some(jdir.clone()));
+    let block = client.round_trip("SUBMIT models=1 cells=0..5");
+    assert_eq!(
+        stripped_records(&block),
+        reference_records(Some(1), &indices),
+        "absorbed stream"
+    );
+    let done = done_line(&block);
+    assert_eq!(field(done, "hits="), 5, "{done}");
+    assert_eq!(field(done, "missed="), 0, "{done}");
+    assert!(
+        !jdir.join("job-9.journal").exists(),
+        "absorbed journal consumed"
+    );
+    std::fs::remove_dir_all(&jdir).ok();
 }

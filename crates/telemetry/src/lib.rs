@@ -85,11 +85,21 @@ pub enum Counter {
     CacheRejectCert,
     /// Hi programs scanned by the exhaustive enumeration.
     ExhPrograms,
+    /// Journal records replayed into a resumed sweep as cache hits.
+    JournalRecordsReplayed,
+    /// Torn trailing journal records silently dropped at parse.
+    JournalTornDropped,
+    /// Cells a resumed sweep re-proved live (missing or invalid).
+    ResumeCellsReproved,
+    /// Faults the `TP_FAULTS` plan actually injected.
+    FaultsInjected,
+    /// Serve jobs cancelled by their `deadline_ms` wall-clock budget.
+    JobsDeadlineExpired,
 }
 
 impl Counter {
     /// Number of distinct counters.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 21;
 
     /// Every counter, in array-index order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -109,6 +119,11 @@ impl Counter {
         Counter::CacheRejectVerdict,
         Counter::CacheRejectCert,
         Counter::ExhPrograms,
+        Counter::JournalRecordsReplayed,
+        Counter::JournalTornDropped,
+        Counter::ResumeCellsReproved,
+        Counter::FaultsInjected,
+        Counter::JobsDeadlineExpired,
     ];
 
     /// The stable wire name of this counter (trace manifests, tooling).
@@ -130,6 +145,11 @@ impl Counter {
             Counter::CacheRejectVerdict => "cache_reject_verdict",
             Counter::CacheRejectCert => "cache_reject_cert",
             Counter::ExhPrograms => "exh_programs",
+            Counter::JournalRecordsReplayed => "journal_records_replayed",
+            Counter::JournalTornDropped => "journal_torn_dropped",
+            Counter::ResumeCellsReproved => "resume_cells_reproved",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::JobsDeadlineExpired => "jobs_deadline_expired",
         }
     }
 }
@@ -445,6 +465,16 @@ impl Snapshot {
             out,
             "  exhaustive: {} programs scanned",
             c(Counter::ExhPrograms)
+        );
+        let _ = writeln!(
+            out,
+            "  crash-safety: {} journal replayed, {} torn dropped, {} resume re-proved, \
+             {} faults injected, {} deadlines expired",
+            c(Counter::JournalRecordsReplayed),
+            c(Counter::JournalTornDropped),
+            c(Counter::ResumeCellsReproved),
+            c(Counter::FaultsInjected),
+            c(Counter::JobsDeadlineExpired)
         );
         for k in SpanKind::ALL {
             let (n, us) = self.span(k);
